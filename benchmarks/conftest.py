@@ -1,0 +1,39 @@
+"""Shared configuration for the paper-reproduction benchmark suite.
+
+Every ``test_bench_*`` file regenerates one table or figure from the
+paper at ``smoke`` scale (seconds each; pass ``--bench-scale small`` for
+the fuller sweep), asserts the paper's qualitative shape checks, and
+reports wall time through pytest-benchmark.  Experiments are expensive,
+so each benchmark runs exactly one round.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import ExperimentResult
+from repro.bench.runner import get_scale
+
+
+def pytest_addoption(parser):
+    parser.addoption("--bench-scale", action="store", default="smoke",
+                     help="experiment scale preset (smoke/small/medium)")
+
+
+@pytest.fixture(scope="session")
+def bench_scale(request):
+    """The Scale preset benchmarks run at."""
+    return get_scale(request.config.getoption("--bench-scale"))
+
+
+def run_once(benchmark, fn, *args, **kwargs) -> ExperimentResult:
+    """Execute an experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)
+
+
+def assert_checks(result: ExperimentResult, ignore=()):
+    """Fail the benchmark when paper shape checks did not hold."""
+    failures = [check for check in result.failed_checks()
+                if not any(token in check.name for token in ignore)]
+    assert not failures, "\n" + result.render()

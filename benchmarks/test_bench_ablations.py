@@ -1,0 +1,11 @@
+"""Benchmark: parameter ablations (the paper's settings choices)."""
+
+from conftest import assert_checks, run_once
+
+from repro.bench.experiments import ablations
+
+
+def test_ablations(benchmark, bench_scale):
+    result = run_once(benchmark, ablations.run, scale=bench_scale)
+    assert_checks(result)
+    assert len(result.tables) == 4

@@ -1,0 +1,65 @@
+"""Micro-benchmarks: end-to-end engine operations (put/get/scan).
+
+Wall-clock throughput of the LSM engine itself — the substrate every
+experiment runs on.  Useful for spotting regressions in the write path,
+point-lookup path and iterator machinery.
+"""
+
+import random
+
+import pytest
+
+from repro.indexes.registry import IndexKind
+from repro.lsm.db import LSMTree
+from repro.lsm.options import small_test_options
+
+_N = 2_000
+
+
+def _loaded_db(kind=IndexKind.PGM):
+    db = LSMTree(small_test_options(index_kind=kind))
+    rng = random.Random(5)
+    keys = rng.sample(range(1, 1 << 40), _N)
+    for i, key in enumerate(keys):
+        db.put(key, b"v%d" % i)
+    db.flush()
+    return db, keys
+
+
+def test_put_throughput(benchmark):
+    def fill():
+        db = LSMTree(small_test_options())
+        rng = random.Random(7)
+        for i, key in enumerate(rng.sample(range(1, 1 << 40), _N)):
+            db.put(key, b"v%d" % i)
+        db.close()
+
+    benchmark.pedantic(fill, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("kind", [IndexKind.FP, IndexKind.PGM,
+                                  IndexKind.RMI],
+                         ids=lambda kind: kind.value)
+def test_get_throughput(benchmark, kind):
+    db, keys = _loaded_db(kind)
+    rng = random.Random(9)
+    probes = [keys[rng.randrange(len(keys))] for _ in range(256)]
+
+    def lookups():
+        for probe in probes:
+            db.get(probe)
+
+    benchmark(lookups)
+    db.close()
+
+
+def test_scan_throughput(benchmark):
+    db, keys = _loaded_db()
+    starts = sorted(keys)[:: max(1, len(keys) // 16)]
+
+    def scans():
+        for start in starts:
+            db.scan(start, 50)
+
+    benchmark(scans)
+    db.close()

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 10 (per-level read overhead)."""
+
+from conftest import assert_checks, run_once
+
+from repro.bench.experiments import fig10_level_overhead
+
+
+def test_fig10_level_overhead(benchmark, bench_scale):
+    result = run_once(benchmark, fig10_level_overhead.run, scale=bench_scale)
+    assert_checks(result)

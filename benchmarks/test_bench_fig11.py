@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 11 (range lookups)."""
+
+from conftest import assert_checks, run_once
+
+from repro.bench.experiments import fig11_range_lookup
+
+
+def test_fig11_range_lookup(benchmark, bench_scale):
+    result = run_once(benchmark, fig11_range_lookup.run, scale=bench_scale)
+    assert_checks(result)

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 12 (YCSB workloads A-F)."""
+
+from conftest import assert_checks, run_once
+
+from repro.bench.experiments import fig12_ycsb
+
+
+def test_fig12_ycsb(benchmark, bench_scale):
+    result = run_once(benchmark, fig12_ycsb.run, scale=bench_scale)
+    assert_checks(result)
+    assert len(result.tables) == 6  # workloads A-F

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 5 (dataset CDFs)."""
+
+from conftest import assert_checks, run_once
+
+from repro.bench.experiments import fig5_dataset_cdfs
+
+
+def test_fig5_dataset_cdfs(benchmark, bench_scale):
+    result = run_once(benchmark, fig5_dataset_cdfs.run, scale=bench_scale)
+    assert_checks(result)
+    assert len(result.tables[0][1].rows) == 7  # all seven datasets

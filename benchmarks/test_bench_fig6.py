@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 6 (latency & memory vs boundary).
+
+The headline sweep: all seven index types crossed with the paper's
+position boundaries on the Random dataset.  Asserts Observations 1
+and 2 (boundary dominates latency; FP worst memory; PGM/RMI best;
+diminishing returns at the I/O plateau).
+"""
+
+from conftest import assert_checks, run_once
+
+from repro.bench.experiments import fig6_boundary_sweep
+
+
+def test_fig6_boundary_sweep(benchmark, bench_scale):
+    result = run_once(benchmark, fig6_boundary_sweep.run, scale=bench_scale)
+    assert_checks(result)
+    table = result.tables[0][1]
+    assert len(table.rows) == 7 * 6  # kinds x boundaries

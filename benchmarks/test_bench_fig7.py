@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 7 (query time breakdown)."""
+
+from conftest import assert_checks, run_once
+
+from repro.bench.experiments import fig7_breakdown
+
+
+def test_fig7_breakdown(benchmark, bench_scale):
+    result = run_once(benchmark, fig7_breakdown.run, scale=bench_scale)
+    assert_checks(result)

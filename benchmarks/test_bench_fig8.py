@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 8 (index granularity)."""
+
+from conftest import assert_checks, run_once
+
+from repro.bench.experiments import fig8_granularity
+
+
+def test_fig8_granularity(benchmark, bench_scale):
+    result = run_once(benchmark, fig8_granularity.run, scale=bench_scale)
+    assert_checks(result)

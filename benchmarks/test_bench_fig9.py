@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 9 (compaction time and breakdown)."""
+
+from conftest import assert_checks, run_once
+
+from repro.bench.experiments import fig9_compaction
+
+
+def test_fig9_compaction(benchmark, bench_scale):
+    result = run_once(benchmark, fig9_compaction.run, scale=bench_scale)
+    assert_checks(result)

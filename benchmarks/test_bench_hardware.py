@@ -1,0 +1,10 @@
+"""Benchmark: hardware-profile sensitivity study."""
+
+from conftest import assert_checks, run_once
+
+from repro.bench.experiments import hardware_study
+
+
+def test_hardware_study(benchmark, bench_scale):
+    result = run_once(benchmark, hardware_study.run, scale=bench_scale)
+    assert_checks(result)

@@ -1,0 +1,44 @@
+"""Micro-benchmarks: index build and lookup throughput per index type.
+
+Not a paper figure, but the primitive costs behind Figures 6/9: how
+fast each index trains over a table-sized key array and how fast it
+answers position queries.  pytest-benchmark's statistics make these the
+regression canaries for the index implementations.
+"""
+
+import random
+
+import pytest
+
+from repro.indexes.registry import ALL_KINDS, IndexFactory
+from repro.workloads.datasets import generate
+
+_BOUNDARY = 32
+
+
+@pytest.fixture(scope="module")
+def table_keys(request):
+    return generate("random", 8_000, seed=3)
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS, ids=lambda kind: kind.value)
+def test_build_throughput(benchmark, kind, table_keys):
+    factory = IndexFactory(kind, _BOUNDARY)
+    index = benchmark(factory.build, table_keys)
+    assert index.is_built
+    assert index.size_bytes() > 0
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS, ids=lambda kind: kind.value)
+def test_lookup_throughput(benchmark, kind, table_keys):
+    factory = IndexFactory(kind, _BOUNDARY)
+    index = factory.build(table_keys)
+    rng = random.Random(11)
+    probes = [table_keys[rng.randrange(len(table_keys))]
+              for _ in range(512)]
+
+    def run_lookups():
+        for probe in probes:
+            index.lookup(probe)
+
+    benchmark(run_lookups)

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 1 (PLR point-lookup stage times)."""
+
+from conftest import assert_checks, run_once
+
+from repro.bench.experiments import table1_stage_times
+
+
+def test_table1_stage_times(benchmark, bench_scale):
+    result = run_once(benchmark, table1_stage_times.run, scale=bench_scale)
+    assert_checks(result)
+    table = result.tables[0][1]
+    assert table.column("process") == [
+        "Table Lookup", "Prediction", "Disk I/O", "Binary Search"]

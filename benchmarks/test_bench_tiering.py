@@ -1,0 +1,10 @@
+"""Benchmark: leveling vs tiering study (Section 6.2 extension)."""
+
+from conftest import assert_checks, run_once
+
+from repro.bench.experiments import tiering_study
+
+
+def test_tiering_study(benchmark, bench_scale):
+    result = run_once(benchmark, tiering_study.run, scale=bench_scale)
+    assert_checks(result)

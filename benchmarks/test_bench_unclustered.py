@@ -1,0 +1,10 @@
+"""Benchmark: the Section 3.3 clustered-vs-unclustered study."""
+
+from conftest import assert_checks, run_once
+
+from repro.bench.experiments import unclustered_study
+
+
+def test_unclustered_study(benchmark, bench_scale):
+    result = run_once(benchmark, unclustered_study.run, scale=bench_scale)
+    assert_checks(result)

@@ -1,0 +1,10 @@
+"""Legacy setup shim: enables `pip install -e .` without the wheel package.
+
+The execution environment has no network and no `wheel` module, so the
+PEP 517 editable path (which builds a wheel) is unavailable; this shim
+lets pip fall back to `setup.py develop`.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,53 @@
+"""repro — learned indexes in LSM-tree systems, reproduced end to end.
+
+A from-scratch Python implementation of the unified testbed from
+*"Evaluating Learned Indexes in LSM-tree Systems: Benchmarks, Insights
+and Design Choices"* (EDBT 2026): a LevelDB-style LSM-tree whose
+SSTables are indexed by pluggable learned models, a calibrated
+simulated-I/O substrate, SOSD-style dataset generators, YCSB workloads,
+and a harness that regenerates every figure and table of the paper's
+evaluation.
+
+Quickstart::
+
+    from repro import LSMTree, Options, IndexKind
+
+    options = Options(index_kind=IndexKind.PGM, position_boundary=32)
+    db = LSMTree(options)
+    db.put(42, b"hello")
+    assert db.get(42) == b"hello"
+
+See ``examples/`` for complete walkthroughs and ``benchmarks/`` for the
+paper's experiments.
+"""
+
+from repro.errors import ReproError
+from repro.indexes import (
+    ALL_KINDS,
+    LEARNED_KINDS,
+    ClusteredIndex,
+    IndexFactory,
+    IndexKind,
+    SearchBound,
+)
+from repro.lsm import LSMTree, Options
+from repro.storage import CostModel, MemoryBlockDevice, Stage, Stats
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "ClusteredIndex",
+    "SearchBound",
+    "IndexFactory",
+    "IndexKind",
+    "ALL_KINDS",
+    "LEARNED_KINDS",
+    "LSMTree",
+    "Options",
+    "CostModel",
+    "MemoryBlockDevice",
+    "Stats",
+    "Stage",
+    "__version__",
+]

@@ -1,0 +1,3 @@
+import sys
+from repro.bench.cli import main
+sys.exit(main())

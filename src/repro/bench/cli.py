@@ -1,0 +1,108 @@
+"""Command-line entry point: ``python -m repro.bench`` / ``repro-bench``.
+
+Usage::
+
+    repro-bench list                     # available experiments
+    repro-bench fig6 --scale small       # one experiment
+    repro-bench all --scale smoke        # the full figure set
+    repro-bench fig6 --dataset wiki      # different dataset
+
+Each experiment prints the same rows/series the paper's figure plots,
+followed by the qualitative shape checks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.bench.experiments import EXPERIMENTS, TITLES
+from repro.bench.runner import SCALES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiment",
+                        help="experiment id ('list' to enumerate, 'all' "
+                             "to run everything)")
+    parser.add_argument("--scale", default="smoke", choices=sorted(SCALES),
+                        help="workload scale preset (default: smoke)")
+    parser.add_argument("--dataset", default=None,
+                        help="dataset name for single-dataset experiments")
+    parser.add_argument("--csv", action="store_true",
+                        help="emit tables as CSV instead of aligned text")
+    parser.add_argument("--out", default=None, metavar="DIR",
+                        help="also write each table as a CSV file under DIR")
+    return parser
+
+
+def _export_csv(result, out_dir: str) -> None:
+    import os
+    import re
+
+    os.makedirs(out_dir, exist_ok=True)
+    for caption, table in result.tables:
+        slug = re.sub(r"[^a-z0-9]+", "-", caption.lower()).strip("-")[:60]
+        path = os.path.join(out_dir, f"{result.experiment_id}__{slug}.csv")
+        with open(path, "w") as sink:
+            sink.write(table.to_csv())
+    checks_path = os.path.join(out_dir, f"{result.experiment_id}__checks.txt")
+    with open(checks_path, "w") as sink:
+        for check in result.checks:
+            sink.write(check.render() + "\n")
+
+
+def _run_one(experiment_id: str, scale: str, dataset: Optional[str],
+             csv: bool, out_dir: Optional[str] = None) -> bool:
+    run = EXPERIMENTS[experiment_id]
+    kwargs = {}
+    if dataset is not None:
+        # fig5/fig6 take a datasets tuple; the rest take dataset.
+        if experiment_id in ("fig5", "fig6"):
+            kwargs["datasets"] = (dataset,)
+        else:
+            kwargs["dataset"] = dataset
+    started = time.time()
+    result = run(scale=scale, **kwargs)
+    elapsed = time.time() - started
+    if csv:
+        for caption, table in result.tables:
+            print(f"# {result.experiment_id}: {caption}")
+            print(table.to_csv())
+    else:
+        print(result.render())
+    if out_dir is not None:
+        _export_csv(result, out_dir)
+    print(f"({experiment_id} finished in {elapsed:.1f}s wall time)\n")
+    return result.all_checks_passed
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for experiment_id in EXPERIMENTS:
+            print(f"{experiment_id:<12s} {TITLES[experiment_id]}")
+        return 0
+    if args.experiment == "all":
+        ok = True
+        for experiment_id in EXPERIMENTS:
+            ok = _run_one(experiment_id, args.scale, args.dataset,
+                          args.csv, args.out) and ok
+        return 0 if ok else 1
+    if args.experiment not in EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; "
+              f"try: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    ok = _run_one(args.experiment, args.scale, args.dataset, args.csv,
+                  args.out)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

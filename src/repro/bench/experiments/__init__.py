@@ -1,0 +1,59 @@
+"""Experiment registry: one module per paper figure/table.
+
+``EXPERIMENTS`` maps experiment ids to their ``run`` callables; every
+``run(scale=..., **axes)`` returns a
+:class:`~repro.bench.report.ExperimentResult` with the tables the
+paper's figure plots plus the qualitative shape checks it states.
+"""
+
+from typing import Callable, Dict
+
+from repro.bench.experiments import (
+    ablations,
+    fig5_dataset_cdfs,
+    fig6_boundary_sweep,
+    fig7_breakdown,
+    fig8_granularity,
+    fig9_compaction,
+    fig10_level_overhead,
+    fig11_range_lookup,
+    fig12_ycsb,
+    hardware_study,
+    table1_stage_times,
+    tiering_study,
+    unclustered_study,
+)
+
+EXPERIMENTS: Dict[str, Callable] = {
+    ablations.EXPERIMENT_ID: ablations.run,
+    fig5_dataset_cdfs.EXPERIMENT_ID: fig5_dataset_cdfs.run,
+    fig6_boundary_sweep.EXPERIMENT_ID: fig6_boundary_sweep.run,
+    fig7_breakdown.EXPERIMENT_ID: fig7_breakdown.run,
+    fig8_granularity.EXPERIMENT_ID: fig8_granularity.run,
+    fig9_compaction.EXPERIMENT_ID: fig9_compaction.run,
+    fig10_level_overhead.EXPERIMENT_ID: fig10_level_overhead.run,
+    table1_stage_times.EXPERIMENT_ID: table1_stage_times.run,
+    fig11_range_lookup.EXPERIMENT_ID: fig11_range_lookup.run,
+    fig12_ycsb.EXPERIMENT_ID: fig12_ycsb.run,
+    unclustered_study.EXPERIMENT_ID: unclustered_study.run,
+    tiering_study.EXPERIMENT_ID: tiering_study.run,
+    hardware_study.EXPERIMENT_ID: hardware_study.run,
+}
+
+TITLES: Dict[str, str] = {
+    ablations.EXPERIMENT_ID: ablations.TITLE,
+    fig5_dataset_cdfs.EXPERIMENT_ID: fig5_dataset_cdfs.TITLE,
+    fig6_boundary_sweep.EXPERIMENT_ID: fig6_boundary_sweep.TITLE,
+    fig7_breakdown.EXPERIMENT_ID: fig7_breakdown.TITLE,
+    fig8_granularity.EXPERIMENT_ID: fig8_granularity.TITLE,
+    fig9_compaction.EXPERIMENT_ID: fig9_compaction.TITLE,
+    fig10_level_overhead.EXPERIMENT_ID: fig10_level_overhead.TITLE,
+    table1_stage_times.EXPERIMENT_ID: table1_stage_times.TITLE,
+    fig11_range_lookup.EXPERIMENT_ID: fig11_range_lookup.TITLE,
+    fig12_ycsb.EXPERIMENT_ID: fig12_ycsb.TITLE,
+    unclustered_study.EXPERIMENT_ID: unclustered_study.TITLE,
+    tiering_study.EXPERIMENT_ID: tiering_study.TITLE,
+    hardware_study.EXPERIMENT_ID: hardware_study.TITLE,
+}
+
+__all__ = ["EXPERIMENTS", "TITLES"]

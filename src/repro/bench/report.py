@@ -1,0 +1,185 @@
+"""Plain-text reporting: result tables, sparklines, shape checks.
+
+Experiments print the same rows/series the paper's figures plot.  A
+:class:`ResultTable` is a column-ordered grid with aligned text and CSV
+output; a :class:`ShapeCheck` records whether a qualitative expectation
+from the paper (who wins, what plateaus) held in this run — the bench
+suite asserts on them and EXPERIMENTS.md records them.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def format_bytes(nbytes: float) -> str:
+    """Human-readable byte count (powers of 1024)."""
+    value = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024.0 or unit == "GiB":
+            if unit == "B":
+                return f"{value:.0f} {unit}"
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    return f"{value:.1f} GiB"  # pragma: no cover - unreachable
+
+
+def format_cell(value: Cell, float_digits: int = 2) -> str:
+    """Render one cell: floats rounded, everything else stringified."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A unicode mini-chart of a numeric series."""
+    if not values:
+        return ""
+    lo = min(values)
+    hi = max(values)
+    span = hi - lo
+    if span <= 0:
+        return _SPARK_CHARS[0] * len(values)
+    out = []
+    for value in values:
+        idx = int((value - lo) / span * (len(_SPARK_CHARS) - 1))
+        out.append(_SPARK_CHARS[idx])
+    return "".join(out)
+
+
+@dataclass
+class ResultTable:
+    """A fixed-column table of experiment rows."""
+
+    columns: List[str]
+    rows: List[List[Cell]] = field(default_factory=list)
+    float_digits: int = 2
+
+    def add_row(self, *values: Cell) -> None:
+        """Append one row (must match the column count)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has "
+                f"{len(self.columns)} columns")
+        self.rows.append(list(values))
+
+    def column(self, name: str) -> List[Cell]:
+        """All values of one column."""
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    def to_text(self) -> str:
+        """Aligned fixed-width rendering."""
+        rendered = [[format_cell(cell, self.float_digits) for cell in row]
+                    for row in self.rows]
+        widths = [len(col) for col in self.columns]
+        for row in rendered:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        out = io.StringIO()
+        header = "  ".join(col.ljust(widths[i])
+                           for i, col in enumerate(self.columns))
+        out.write(header + "\n")
+        out.write("  ".join("-" * width for width in widths) + "\n")
+        for row in rendered:
+            out.write("  ".join(cell.rjust(widths[i])
+                                for i, cell in enumerate(row)) + "\n")
+        return out.getvalue()
+
+    def to_csv(self) -> str:
+        """Comma-separated rendering (no quoting; cells are simple)."""
+        lines = [",".join(self.columns)]
+        for row in self.rows:
+            lines.append(",".join(format_cell(cell, self.float_digits)
+                                  for cell in row))
+        return "\n".join(lines) + "\n"
+
+    def filtered(self, column: str, value: Cell) -> "ResultTable":
+        """A copy containing only rows where ``column == value``."""
+        idx = self.columns.index(column)
+        table = ResultTable(columns=list(self.columns),
+                            float_digits=self.float_digits)
+        table.rows = [list(row) for row in self.rows if row[idx] == value]
+        return table
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One qualitative expectation from the paper, evaluated on this run."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def render(self) -> str:
+        """Status line for reports."""
+        mark = "PASS" if self.passed else "FAIL"
+        suffix = f" — {self.detail}" if self.detail else ""
+        return f"[{mark}] {self.name}{suffix}"
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced."""
+
+    experiment_id: str
+    title: str
+    tables: List[tuple] = field(default_factory=list)  # (caption, ResultTable)
+    checks: List[ShapeCheck] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    def add_table(self, caption: str, table: ResultTable) -> None:
+        """Attach one captioned table."""
+        self.tables.append((caption, table))
+
+    def check(self, name: str, passed: bool, detail: str = "") -> None:
+        """Record one shape check."""
+        self.checks.append(ShapeCheck(name, bool(passed), detail))
+
+    def note(self, text: str) -> None:
+        """Attach a free-form note."""
+        self.notes.append(text)
+
+    @property
+    def all_checks_passed(self) -> bool:
+        """True when every recorded shape check held."""
+        return all(check.passed for check in self.checks)
+
+    def failed_checks(self) -> List[ShapeCheck]:
+        """The checks that did not hold."""
+        return [check for check in self.checks if not check.passed]
+
+    def render(self) -> str:
+        """Full text report (what the CLI prints)."""
+        out = io.StringIO()
+        out.write(f"=== {self.experiment_id}: {self.title} ===\n")
+        for note in self.notes:
+            out.write(f"  {note}\n")
+        for caption, table in self.tables:
+            out.write(f"\n--- {caption} ---\n")
+            out.write(table.to_text())
+        if self.checks:
+            out.write("\nShape checks (paper expectations):\n")
+            for check in self.checks:
+                out.write("  " + check.render() + "\n")
+        return out.getvalue()
+
+
+def require(result: ExperimentResult,
+            only: Optional[Sequence[str]] = None) -> None:
+    """Raise AssertionError when shape checks failed (bench helper)."""
+    failures = [check for check in result.failed_checks()
+                if only is None or check.name in only]
+    if failures:
+        summary = "; ".join(check.render() for check in failures)
+        raise AssertionError(
+            f"{result.experiment_id}: shape checks failed: {summary}")

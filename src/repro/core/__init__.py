@@ -1,0 +1,54 @@
+"""The paper's core contribution: configuration space, testbed, tuning.
+
+* :mod:`repro.core.config` — the (index type, boundary, granularity)
+  configuration space of Section 4.1.
+* :mod:`repro.core.testbed` — the unified measurement platform of
+  Section 4.2.
+* :mod:`repro.core.cost_analysis` — the analytic cost model of
+  Section 4.
+* :mod:`repro.core.tuning` — the Section 6.1 guidelines as an advisor.
+* :mod:`repro.core.memory` — memory budget bookkeeping.
+"""
+
+from repro.core.config import (
+    PAPER_BOUNDARIES,
+    PAPER_SSTABLE_MIB,
+    BenchConfig,
+    ConfigurationSpace,
+)
+from repro.core.cost_analysis import (
+    MemoryEstimate,
+    analytic_frontier,
+    estimate_index_memory,
+    expected_io_blocks,
+    expected_io_us,
+    expected_point_lookup_us,
+    expected_search_us,
+    inner_index_cost_us,
+    plateau_boundary,
+)
+from repro.core.memory import MemoryLedger
+from repro.core.testbed import MemoryMetrics, PhaseMetrics, Testbed
+from repro.core.tuning import Recommendation, TuningAdvisor
+
+__all__ = [
+    "BenchConfig",
+    "ConfigurationSpace",
+    "PAPER_BOUNDARIES",
+    "PAPER_SSTABLE_MIB",
+    "Testbed",
+    "PhaseMetrics",
+    "MemoryMetrics",
+    "MemoryLedger",
+    "TuningAdvisor",
+    "Recommendation",
+    "expected_io_blocks",
+    "expected_io_us",
+    "expected_search_us",
+    "expected_point_lookup_us",
+    "plateau_boundary",
+    "inner_index_cost_us",
+    "estimate_index_memory",
+    "analytic_frontier",
+    "MemoryEstimate",
+]

@@ -1,0 +1,74 @@
+"""Memory budget ledger for the LSM-tree's in-memory components.
+
+The paper's Section 6.1 guideline — "wisely allocate the memory
+budget" — needs a way to talk about where memory goes: learned
+indexes, bloom filters and the write buffer all compete for one
+budget.  :class:`MemoryLedger` tracks component allocations against a
+budget and reports utilisation; the tuning advisor uses it to reject
+configurations that starve the other components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import BenchmarkError
+
+
+@dataclass
+class MemoryLedger:
+    """Byte allocations per named component against one budget."""
+
+    budget_bytes: int
+    allocations: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.budget_bytes < 0:
+            raise BenchmarkError(
+                f"memory budget must be >= 0, got {self.budget_bytes}")
+
+    def allocate(self, component: str, nbytes: int) -> None:
+        """Set (replace) the allocation of ``component``."""
+        if nbytes < 0:
+            raise BenchmarkError(
+                f"allocation for {component!r} must be >= 0, got {nbytes}")
+        self.allocations[component] = nbytes
+
+    def release(self, component: str) -> None:
+        """Remove a component's allocation."""
+        self.allocations.pop(component, None)
+
+    def used_bytes(self) -> int:
+        """Sum of all allocations."""
+        return sum(self.allocations.values())
+
+    def remaining_bytes(self) -> int:
+        """Budget minus allocations (negative when over budget)."""
+        return self.budget_bytes - self.used_bytes()
+
+    def fits(self) -> bool:
+        """True while allocations are within the budget."""
+        return self.used_bytes() <= self.budget_bytes
+
+    def utilisation(self) -> float:
+        """Used fraction of the budget (0 when the budget is 0)."""
+        if self.budget_bytes == 0:
+            return 0.0
+        return self.used_bytes() / self.budget_bytes
+
+    def share(self, component: str) -> float:
+        """Fraction of *used* memory held by ``component``."""
+        used = self.used_bytes()
+        if used == 0:
+            return 0.0
+        return self.allocations.get(component, 0) / used
+
+    def report(self) -> str:
+        """Fixed-width textual breakdown."""
+        lines = [f"memory budget: {self.budget_bytes:,} B "
+                 f"(used {self.used_bytes():,} B, "
+                 f"{self.utilisation() * 100:.1f}%)"]
+        for component, nbytes in sorted(self.allocations.items()):
+            lines.append(f"  {component:<12s} {nbytes:>12,} B")
+        return "\n".join(lines)

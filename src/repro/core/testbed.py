@@ -1,0 +1,243 @@
+"""The unified testbed: load a database, run workloads, collect metrics.
+
+This is the reproduction of the paper's Section 4.2 platform: a single
+object that materialises an :class:`~repro.lsm.db.LSMTree` from a
+:class:`~repro.core.config.BenchConfig`, bulk-loads a dataset through
+the normal write path (so flushes and compactions build the learned
+indexes exactly as in production), and executes measured workload
+phases.  Every phase returns simulated-time metrics broken down into
+the paper's stages.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import BenchConfig
+from repro.lsm.db import LSMTree
+from repro.lsm.options import Options
+from repro.storage.block_device import BlockDevice
+from repro.storage.stats import (
+    BLOCKS_READ,
+    COMPACT_BYTES_IN,
+    COMPACTION_STAGES,
+    SEGMENTS_FETCHED,
+    Stage,
+    StatsSnapshot,
+)
+from repro.workloads import datasets as dataset_mod
+from repro.workloads.ycsb import OpKind, YCSBWorkload
+
+
+@dataclass(frozen=True)
+class PhaseMetrics:
+    """Simulated-time metrics for one measured workload phase."""
+
+    ops: int
+    total_us: float
+    stage_us: Dict[str, float]
+    counters: Dict[str, float]
+
+    @property
+    def avg_us(self) -> float:
+        """Mean simulated microseconds per operation."""
+        return self.total_us / self.ops if self.ops else 0.0
+
+    def stage_avg_us(self, stage: Stage) -> float:
+        """Mean per-op simulated time spent in ``stage``."""
+        if not self.ops:
+            return 0.0
+        return self.stage_us.get(stage.value, 0.0) / self.ops
+
+    def counter(self, name: str) -> float:
+        """Total counter change during the phase."""
+        return self.counters.get(name, 0.0)
+
+    def blocks_read_per_op(self) -> float:
+        """Mean device blocks fetched per operation."""
+        if not self.ops:
+            return 0.0
+        return self.counters.get(BLOCKS_READ, 0.0) / self.ops
+
+
+@dataclass(frozen=True)
+class MemoryMetrics:
+    """In-memory footprint by component after a phase."""
+
+    index_bytes: int
+    bloom_bytes: int
+    buffer_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum over all components."""
+        return self.index_bytes + self.bloom_bytes + self.buffer_bytes
+
+
+@dataclass
+class Testbed:
+    """One database under measurement."""
+
+    #: Not a pytest test class (collection hint).
+    __test__ = False
+
+    options: Options
+    device: Optional[BlockDevice] = None
+    seed: int = 0
+    db: LSMTree = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.db = LSMTree(self.options, device=self.device)
+        self._rng = random.Random(self.seed)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_config(cls, config: BenchConfig,
+                    device: Optional[BlockDevice] = None) -> "Testbed":
+        """Materialise a testbed for one configuration point."""
+        return cls(options=config.to_options(), device=device,
+                   seed=config.seed)
+
+    # -- loading -----------------------------------------------------------
+
+    def value_for(self, key: int) -> bytes:
+        """Deterministic value payload for ``key`` (fits the capacity)."""
+        raw = b"v%x" % key
+        return raw[: self.options.value_capacity]
+
+    def load_keys(self, keys: Sequence[int], shuffle: bool = True) -> None:
+        """Insert ``keys`` through the write path and settle compactions.
+
+        Insertion order is shuffled by default: sorted bulk loads never
+        trigger overlapping compactions and would under-exercise the
+        engine compared to the paper's fill phase.
+        """
+        order = list(keys)
+        if shuffle:
+            self._rng.shuffle(order)
+        put = self.db.put
+        value_for = self.value_for
+        for key in order:
+            put(key, value_for(key))
+        self.settle()
+
+    def load_dataset(self, name: str, n: int) -> List[int]:
+        """Generate and load a named dataset; returns its sorted keys."""
+        keys = dataset_mod.generate(name, n, seed=self.seed)
+        self.load_keys(keys)
+        return keys
+
+    def bulk_load(self, keys: Sequence[int]) -> None:
+        """Offline leveled fill (no compaction churn) for read phases."""
+        self.db.bulk_ingest(keys, value_for=self.value_for, seed=self.seed)
+
+    def bulk_load_dataset(self, name: str, n: int) -> List[int]:
+        """Generate a dataset and bulk-load it; returns its sorted keys."""
+        keys = dataset_mod.generate(name, n, seed=self.seed)
+        self.bulk_load(keys)
+        return keys
+
+    def level_keys(self) -> Dict[int, List[int]]:
+        """Per-level key sets recorded by the last bulk load."""
+        return getattr(self.db, "last_ingest_levels", {})
+
+    def settle(self) -> None:
+        """Flush the buffer and run every due compaction."""
+        self.db.flush()
+        self.db.maybe_compact()
+
+    # -- measured phases -----------------------------------------------------
+
+    def _phase(self, before: StatsSnapshot, ops: int) -> PhaseMetrics:
+        delta = before.delta(self.db.stats)
+        stage_us = {stage.value: us for stage, us in delta.stage_us.items()}
+        return PhaseMetrics(ops=ops,
+                            total_us=delta.read_time(),
+                            stage_us=stage_us,
+                            counters=dict(delta.counters))
+
+    def run_point_lookups(self, keys: Sequence[int]) -> PhaseMetrics:
+        """Execute point lookups and return read-path metrics."""
+        before = self.db.stats.snapshot()
+        get = self.db.get
+        for key in keys:
+            get(key)
+        return self._phase(before, len(keys))
+
+    def run_range_lookups(self, start_keys: Sequence[int],
+                          length: int) -> PhaseMetrics:
+        """Execute fixed-length scans from each start key."""
+        before = self.db.stats.snapshot()
+        scan = self.db.scan
+        for key in start_keys:
+            scan(key, length)
+        return self._phase(before, len(start_keys))
+
+    def run_writes(self, keys: Sequence[int]) -> PhaseMetrics:
+        """Execute puts (write-only phase for compaction studies).
+
+        ``total_us`` for a write phase is write-path plus compaction
+        time rather than read time.
+        """
+        before = self.db.stats.snapshot()
+        put = self.db.put
+        value_for = self.value_for
+        for key in keys:
+            put(key, value_for(key))
+        self.settle()
+        delta = before.delta(self.db.stats)
+        stage_us = {stage.value: us for stage, us in delta.stage_us.items()}
+        compaction_us = sum(delta.stage_us.get(stage, 0.0)
+                            for stage in COMPACTION_STAGES)
+        write_us = delta.stage_us.get(Stage.WRITE_PATH, 0.0)
+        return PhaseMetrics(ops=len(keys),
+                            total_us=compaction_us + write_us,
+                            stage_us=stage_us,
+                            counters=dict(delta.counters))
+
+    def run_ycsb(self, workload: YCSBWorkload, n_ops: int) -> PhaseMetrics:
+        """Execute a YCSB operation stream; returns whole-phase metrics."""
+        before = self.db.stats.snapshot()
+        db = self.db
+        for op in workload.operations(n_ops):
+            if op.kind is OpKind.READ:
+                db.get(op.key)
+            elif op.kind is OpKind.UPDATE:
+                db.put(op.key, self.value_for(op.key))
+            elif op.kind is OpKind.INSERT:
+                db.put(op.key, self.value_for(op.key))
+            elif op.kind is OpKind.SCAN:
+                db.scan(op.key, op.scan_length)
+            elif op.kind is OpKind.READ_MODIFY_WRITE:
+                db.get(op.key)
+                db.put(op.key, self.value_for(op.key))
+        delta = before.delta(db.stats)
+        stage_us = {stage.value: us for stage, us in delta.stage_us.items()}
+        return PhaseMetrics(ops=n_ops,
+                            total_us=delta.total_time(),
+                            stage_us=stage_us,
+                            counters=dict(delta.counters))
+
+    # -- memory ------------------------------------------------------------
+
+    def memory(self) -> MemoryMetrics:
+        """Current in-memory footprint by component."""
+        breakdown = self.db.memory_breakdown()
+        return MemoryMetrics(index_bytes=breakdown["index"],
+                             bloom_bytes=breakdown["bloom"],
+                             buffer_bytes=breakdown["buffer"])
+
+    def segments_fetched(self) -> float:
+        """Total segments fetched since the database opened."""
+        return self.db.stats.get(SEGMENTS_FETCHED)
+
+    def compaction_bytes_in(self) -> float:
+        """Total bytes read into compactions since open."""
+        return self.db.stats.get(COMPACT_BYTES_IN)
+
+    def close(self) -> None:
+        """Release the database."""
+        self.db.close()

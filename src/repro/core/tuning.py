@@ -1,0 +1,241 @@
+"""Tuning advisor: the paper's Section 6.1 guidelines as code.
+
+Three guidelines fall out of the evaluation:
+
+1. **Prioritise position boundary** — under a fixed memory budget, a
+   smaller boundary (more precise models) buys more latency than a
+   fancier inner index.
+2. **Increase index granularity** — larger SSTables (or level models)
+   free memory that can then fund a smaller boundary.
+3. **Wisely allocate the memory budget** — returns diminish once
+   segments shrink to the I/O block size, and per-level boundaries
+   should track the query distribution rather than level sizes.
+
+:class:`TuningAdvisor` turns those rules into a concrete
+recommendation: given a memory budget, a key sample and a workload
+hint, it ranks the (kind, boundary) grid by analytic latency subject
+to the budget, stops tightening at the diminishing-returns plateau,
+and can assign per-level boundaries from observed read shares
+(the Section 5.4 / future-direction allocator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cost_analysis import (
+    analytic_frontier,
+    expected_io_us,
+    plateau_boundary,
+)
+from repro.core.memory import MemoryLedger
+from repro.errors import BenchmarkError
+from repro.indexes.registry import ALL_KINDS, IndexKind
+from repro.storage.cost_model import DEFAULT_COST_MODEL, CostModel
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """The advisor's answer."""
+
+    index_kind: IndexKind
+    position_boundary: int
+    expected_latency_us: float
+    expected_index_bytes: int
+    at_plateau: bool
+    notes: Tuple[str, ...] = ()
+
+    def summary(self) -> str:
+        """One-line description."""
+        return (f"{self.index_kind.value} @ boundary {self.position_boundary}"
+                f" (~{self.expected_latency_us:.2f} us/lookup, "
+                f"~{self.expected_index_bytes:,} B index)")
+
+
+@dataclass
+class TuningAdvisor:
+    """Recommends (index type, boundary) under a memory budget."""
+
+    cost: CostModel = DEFAULT_COST_MODEL
+    boundaries: Sequence[int] = (256, 128, 64, 32, 16, 8, 4)
+    kinds: Sequence[IndexKind] = ALL_KINDS
+
+    def recommend(self, *, memory_budget_bytes: int,
+                  sample_keys: Sequence[int], total_keys: int,
+                  entry_bytes: int,
+                  reserve_fraction: float = 0.5) -> Recommendation:
+        """Pick the best configuration that fits the budget.
+
+        ``reserve_fraction`` of the budget is kept for bloom filters
+        and the write buffer (guideline 3: do not starve the other
+        components).
+        """
+        if not sample_keys:
+            raise BenchmarkError("advisor needs a non-empty key sample")
+        index_budget = int(memory_budget_bytes * (1.0 - reserve_fraction))
+        grid = analytic_frontier(self.cost, entry_bytes, self.boundaries,
+                                 self.kinds, sample_keys, total_keys)
+        plateau = plateau_boundary(entry_bytes, self.cost.block_size)
+        notes: List[str] = []
+
+        feasible: List[Tuple[float, float, IndexKind, int]] = []
+        for kind, per_boundary in grid.items():
+            for boundary, point in per_boundary.items():
+                if point["memory_bytes"] > index_budget:
+                    continue
+                # Guideline 3: tightening beyond the plateau buys nothing;
+                # skip configurations strictly below it if a plateau-level
+                # one from the same kind already fits.
+                if boundary < plateau and plateau in per_boundary and \
+                        per_boundary[plateau]["memory_bytes"] <= index_budget:
+                    continue
+                feasible.append((point["latency_us"], point["memory_bytes"],
+                                 kind, boundary))
+        best: Optional[Tuple[float, float, IndexKind, int]] = None
+        if feasible:
+            # Latency differences within a couple of percent are noise
+            # (I/O dominates — Observation 1); inside that band the
+            # memory saved by a learned index is the real win.
+            fastest = min(point[0] for point in feasible)
+            band = [point for point in feasible
+                    if point[0] <= fastest * 1.02]
+            memory, latency, kind, boundary = min(
+                (point[1], point[0], point[2], point[3]) for point in band)
+            best = (latency, memory, kind, boundary)
+        if best is None:
+            # Nothing fits: recommend the most memory-frugal point.
+            frugal = min(
+                ((point["memory_bytes"], point["latency_us"], kind, boundary)
+                 for kind, per_boundary in grid.items()
+                 for boundary, point in per_boundary.items()))
+            notes.append("budget too small: recommending the most frugal "
+                         "configuration, consider larger SSTables or level "
+                         "granularity")
+            memory, latency, kind, boundary = frugal
+            return Recommendation(index_kind=kind,
+                                  position_boundary=boundary,
+                                  expected_latency_us=latency,
+                                  expected_index_bytes=int(memory),
+                                  at_plateau=boundary <= plateau,
+                                  notes=tuple(notes))
+        latency, memory, kind, boundary = best
+        if boundary <= plateau:
+            notes.append(
+                f"boundary {boundary} is at/below the I/O plateau "
+                f"({plateau}); extra memory would buy little")
+        return Recommendation(index_kind=kind, position_boundary=boundary,
+                              expected_latency_us=latency,
+                              expected_index_bytes=int(memory),
+                              at_plateau=boundary <= plateau,
+                              notes=tuple(notes))
+
+    # -- per-level bloom allocation (Monkey, cited by Section 5.4) ----------
+
+    def allocate_bloom_bits(self, *, level_entries: Dict[int, int],
+                            total_bloom_bits: int,
+                            max_bits_per_key: int = 20) -> Dict[int, int]:
+        """Monkey-style bloom budget split: bits/key per level.
+
+        Every negative lookup probes the filters of all levels above
+        its target, so total cost tracks the *sum of false-positive
+        rates*.  A bit of filter memory buys an exponential FPR drop,
+        and a bit/key on a small shallow level costs few absolute bits
+        — so the greedy best-marginal allocation gives shallow levels
+        more bits/key than the deepest level, exactly Monkey's result
+        (the paper cites this as the analogue of its per-level boundary
+        insight).
+        """
+        import math
+
+        if total_bloom_bits <= 0:
+            raise BenchmarkError("bloom budget must be positive")
+        ln2_sq = math.log(2) ** 2
+
+        def fpr(bits_per_key: int) -> float:
+            return math.exp(-bits_per_key * ln2_sq)
+
+        bits = {level: 0 for level in level_entries}
+        spent = 0
+        while True:
+            best_level = None
+            best_gain = 0.0
+            for level, entries in level_entries.items():
+                if bits[level] >= max_bits_per_key:
+                    continue
+                extra = entries  # one more bit/key costs `entries` bits
+                if spent + extra > total_bloom_bits:
+                    continue
+                gain = (fpr(bits[level]) - fpr(bits[level] + 1)) / extra
+                if gain > best_gain:
+                    best_gain = gain
+                    best_level = level
+            if best_level is None:
+                return bits
+            bits[best_level] += 1
+            spent += level_entries[best_level]
+
+    # -- per-level boundary allocation (Section 5.4 insight) ----------------
+
+    def allocate_level_boundaries(
+            self, *, level_entries: Dict[int, int],
+            level_read_shares: Dict[int, float],
+            bytes_per_key_at: Dict[int, float],
+            index_budget_bytes: int, entry_bytes: int,
+            start_boundary: int = 256) -> Dict[int, int]:
+        """Assign per-level boundaries proportional to read pressure.
+
+        Starts every level at ``start_boundary`` and greedily halves the
+        boundary of whichever level has the best marginal gain —
+        read-share-weighted I/O saving per extra index byte — until the
+        budget is exhausted or every level reaches the plateau.
+
+        ``bytes_per_key_at`` maps a boundary to the index bytes/key it
+        costs (measured or estimated); missing boundaries are
+        interpolated as inversely proportional to the boundary, which
+        matches every segment-based index.
+        """
+        if index_budget_bytes <= 0:
+            raise BenchmarkError("index budget must be positive")
+        plateau = plateau_boundary(entry_bytes, self.cost.block_size)
+
+        def cost_of(level: int, boundary: int) -> float:
+            if boundary in bytes_per_key_at:
+                per_key = bytes_per_key_at[boundary]
+            else:
+                ref_boundary, ref_cost = next(iter(bytes_per_key_at.items()))
+                per_key = ref_cost * ref_boundary / boundary
+            return per_key * level_entries[level]
+
+        boundaries = {level: start_boundary for level in level_entries}
+        ledger = MemoryLedger(index_budget_bytes)
+        for level in level_entries:
+            ledger.allocate(f"L{level}", int(cost_of(level, start_boundary)))
+        if not ledger.fits():
+            return boundaries  # budget cannot even fund the loosest setting
+
+        while True:
+            best_level = None
+            best_gain = 0.0
+            best_extra = 0
+            for level, boundary in boundaries.items():
+                if boundary // 2 < plateau:
+                    continue
+                halved = boundary // 2
+                extra = cost_of(level, halved) - cost_of(level, boundary)
+                if ledger.used_bytes() + extra > index_budget_bytes:
+                    continue
+                io_gain = (expected_io_us(self.cost, boundary, entry_bytes)
+                           - expected_io_us(self.cost, halved, entry_bytes))
+                share = level_read_shares.get(level, 0.0)
+                gain = share * io_gain / max(1.0, extra)
+                if gain > best_gain:
+                    best_gain = gain
+                    best_level = level
+                    best_extra = int(extra)
+            if best_level is None:
+                return boundaries
+            boundaries[best_level] //= 2
+            ledger.allocate(
+                f"L{best_level}",
+                ledger.allocations[f"L{best_level}"] + best_extra)

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+applications can catch one base class.  Subclasses mirror the major
+subsystems: storage, the LSM-tree engine, learned indexes and the
+benchmark harness.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class StorageError(ReproError):
+    """A block-device level failure (unknown file, bad offset, ...)."""
+
+
+class FileNotFoundInDeviceError(StorageError):
+    """Raised when opening or reading a file that the device does not hold."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"no such file in block device: {name!r}")
+        self.name = name
+
+
+class CorruptionError(ReproError):
+    """Raised when on-disk data fails a checksum or structural check."""
+
+
+class IndexBuildError(ReproError):
+    """Raised when a learned index cannot be constructed over the given keys."""
+
+
+class IndexLookupError(ReproError):
+    """Raised when an index is queried before it has been built."""
+
+
+class InvalidOptionError(ReproError):
+    """Raised when :class:`repro.lsm.options.Options` are inconsistent."""
+
+
+class DatabaseClosedError(ReproError):
+    """Raised when an operation is attempted on a closed database."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload specification is invalid."""
+
+
+class BenchmarkError(ReproError):
+    """Raised when an experiment is configured inconsistently."""

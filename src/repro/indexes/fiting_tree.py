@@ -1,0 +1,102 @@
+"""FITing-Tree: greedy segments indexed by a B+-tree (Figure 2 B).
+
+FITing-Tree uses the same shrinking-cone greedy segmentation as PLR —
+each segment's feasible slope cone narrows point by point and the
+segment closes when the cone empties — but replaces PLR's flat
+first-key array with a B+-tree over segment first-keys.  The tree
+makes the segment lookup O(log_B s) node hops instead of a log2(s)
+binary search, at the price of node overhead.  The paper's Figure 6
+shows exactly that trade: FITing-Tree's lookup is never faster in an
+LSM (I/O dominates) while its memory curve is the steepest of the
+learned indexes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from repro.errors import IndexBuildError
+from repro.indexes import codec
+from repro.indexes.base import ClusteredIndex, SearchBound, Segment, segments_to_bound
+from repro.indexes.btree import DEFAULT_ORDER, BPlusTree
+from repro.indexes.plr import deserialize_segments, serialize_segments
+from repro.indexes.segmentation import greedy_corridor_segments
+from repro.storage.cost_model import CostModel
+
+FITING_TAG = 3
+
+
+class FITingTreeIndex(ClusteredIndex):
+    """Shrinking-cone segmentation with a B+-tree inner index."""
+
+    kind = "FT"
+
+    def __init__(self, epsilon: int, order: int = DEFAULT_ORDER) -> None:
+        super().__init__()
+        if epsilon < 1:
+            raise IndexBuildError(f"FT epsilon must be >= 1, got {epsilon}")
+        self.epsilon = epsilon
+        self.order = order
+        self._segments: List[Segment] = []
+        self._tree = BPlusTree(order)
+
+    def _fit(self, keys: Sequence[int]) -> None:
+        self._segments, visits = greedy_corridor_segments(keys, self.epsilon)
+        self._tree = BPlusTree.bulk_load(
+            [(segment.first_key, i) for i, segment in enumerate(self._segments)],
+            order=self.order)
+        self._record_visits(visits)
+
+    def _predict(self, key: int) -> SearchBound:
+        hit = self._tree.floor(key)
+        seg_id = hit[1] if hit is not None else 0
+        segment = self._segments[seg_id]
+        return segments_to_bound(segment, key, self.epsilon)
+
+    def configured_boundary(self) -> int:
+        return 2 * self.epsilon
+
+    def segment_count(self) -> int:
+        """Number of linear segments produced by the greedy pass."""
+        return len(self._segments)
+
+    def tree_height(self) -> int:
+        """Height of the inner B+-tree."""
+        return self._tree.height
+
+    def expected_lookup_cost_us(self, cost: CostModel) -> float:
+        # Each level performs a within-node binary search over up to
+        # ``order`` separators, plus one model evaluation at the leaf.
+        per_node = cost.index_compare_us * (math.log2(self.order) + 1.0)
+        return self._tree.height * per_node + cost.model_eval_us
+
+    def describe(self) -> dict:
+        """Base summary plus segments and B+-tree shape."""
+        info = super().describe()
+        info["segments"] = len(self._segments)
+        info["tree_height"] = self._tree.height
+        info["tree_nodes"] = self._tree.node_count()
+        return info
+
+    def serialize(self) -> bytes:
+        writer = codec.Writer()
+        writer.put_u8(FITING_TAG)
+        writer.put_u32(self.epsilon)
+        writer.put_u64(self._n)
+        serialize_segments(writer, self._segments)
+        self._tree.serialize_into(writer)
+        return writer.getvalue()
+
+    @classmethod
+    def deserialize(cls, reader: codec.Reader) -> "FITingTreeIndex":
+        """Rebuild from a :class:`codec.Reader` positioned after the tag."""
+        epsilon = reader.get_u32()
+        n = reader.get_u64()
+        index = cls(epsilon)
+        index._segments = deserialize_segments(reader, n)
+        index._tree = BPlusTree.deserialize_from(reader)
+        index.order = index._tree.order
+        index._n = n
+        index._built = True
+        return index

@@ -1,0 +1,117 @@
+"""Piece-wise Linear Regression (PLR) — Bourbon's learned index.
+
+The greedy corridor algorithm (Figure 2 A of the paper) splits the
+sorted key array into segments whose linear models are guaranteed to
+predict every member key's position within ``±epsilon``.  The inner
+index is simply the sorted array of segment first-keys, searched with
+binary search — the lightest inner structure of all the learned
+indexes, which is why the paper highlights PLR's memory efficiency
+despite its simplicity.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import IndexBuildError
+from repro.indexes import codec
+from repro.indexes.base import (
+    ClusteredIndex,
+    SearchBound,
+    Segment,
+    floor_index,
+    segments_to_bound,
+)
+from repro.indexes.segmentation import greedy_corridor_segments
+from repro.storage.cost_model import CostModel
+
+PLR_TAG = 2
+
+
+def serialize_segments(writer: codec.Writer, segments: List[Segment]) -> None:
+    """Write a segment list in the shared columnar layout.
+
+    Stores first keys (u64), slopes and intercepts (f64) and start
+    positions (u32): 28 bytes per segment, mirroring the C++ structs
+    of the original implementations.
+    """
+    writer.put_u64_array([segment.first_key for segment in segments])
+    writer.put_f64_array([segment.slope for segment in segments])
+    writer.put_f64_array([segment.intercept for segment in segments])
+    writer.put_u32_array([segment.start for segment in segments])
+
+
+def deserialize_segments(reader: codec.Reader, n: int) -> List[Segment]:
+    """Inverse of :func:`serialize_segments`; lengths are re-derived."""
+    firsts = reader.get_u64_array()
+    slopes = reader.get_f64_array()
+    intercepts = reader.get_f64_array()
+    starts = reader.get_u32_array()
+    segments: List[Segment] = []
+    for i, (first, slope, intercept, start) in enumerate(
+            zip(firsts, slopes, intercepts, starts)):
+        end = starts[i + 1] if i + 1 < len(starts) else n
+        segments.append(Segment(first_key=first, slope=slope,
+                                intercept=intercept, start=start,
+                                length=end - start))
+    return segments
+
+
+class PLRIndex(ClusteredIndex):
+    """Greedy piece-wise linear regression with a flat segment array."""
+
+    kind = "PLR"
+
+    def __init__(self, epsilon: int) -> None:
+        super().__init__()
+        if epsilon < 1:
+            raise IndexBuildError(f"PLR epsilon must be >= 1, got {epsilon}")
+        self.epsilon = epsilon
+        self._segments: List[Segment] = []
+        self._firsts: List[int] = []
+
+    def _fit(self, keys: Sequence[int]) -> None:
+        self._segments, visits = greedy_corridor_segments(keys, self.epsilon)
+        self._firsts = [segment.first_key for segment in self._segments]
+        self._record_visits(visits)
+
+    def _predict(self, key: int) -> SearchBound:
+        segment = self._segments[floor_index(self._firsts, key)]
+        return segments_to_bound(segment, key, self.epsilon)
+
+    def configured_boundary(self) -> int:
+        return 2 * self.epsilon
+
+    def segment_count(self) -> int:
+        """Number of linear segments produced by the greedy pass."""
+        return len(self._segments)
+
+    def expected_lookup_cost_us(self, cost: CostModel) -> float:
+        return (cost.binary_search_us(max(1, len(self._segments)))
+                + cost.model_eval_us)
+
+    def describe(self) -> dict:
+        """Base summary plus the segment count."""
+        info = super().describe()
+        info["segments"] = len(self._segments)
+        return info
+
+    def serialize(self) -> bytes:
+        writer = codec.Writer()
+        writer.put_u8(PLR_TAG)
+        writer.put_u32(self.epsilon)
+        writer.put_u64(self._n)
+        serialize_segments(writer, self._segments)
+        return writer.getvalue()
+
+    @classmethod
+    def deserialize(cls, reader: codec.Reader) -> "PLRIndex":
+        """Rebuild from a :class:`codec.Reader` positioned after the tag."""
+        epsilon = reader.get_u32()
+        n = reader.get_u64()
+        index = cls(epsilon)
+        index._segments = deserialize_segments(reader, n)
+        index._firsts = [segment.first_key for segment in index._segments]
+        index._n = n
+        index._built = True
+        return index

@@ -1,0 +1,119 @@
+"""LevelDB-style bloom filter with double hashing.
+
+Each SSTable carries one filter over its user keys (the paper's
+testbed uses 10 bits per key).  The filter uses the standard
+Kirsch-Mitzenmacher construction: two independent 32-bit hashes are
+derived from one 64-bit mix of the key, and probe ``k = bits_per_key *
+ln 2`` slots.  No false negatives, ever — a property the test suite
+checks with hypothesis.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import Iterable, Sequence
+
+from repro.errors import CorruptionError
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(value: int) -> int:
+    """SplitMix64 finaliser: a fast, well-distributed 64-bit mix."""
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+class BloomFilter:
+    """A fixed-size bloom filter over integer keys."""
+
+    def __init__(self, nbits: int, nprobes: int) -> None:
+        if nbits < 8:
+            nbits = 8
+        if nprobes < 1:
+            nprobes = 1
+        self.nbits = nbits
+        self.nprobes = min(nprobes, 30)
+        self._bits = bytearray((nbits + 7) // 8)
+
+    @classmethod
+    def build(cls, keys: Sequence[int] | Iterable[int],
+              bits_per_key: int) -> "BloomFilter":
+        """Size and populate a filter for ``keys``.
+
+        ``bits_per_key == 0`` produces a degenerate always-maybe filter
+        (bloom disabled), matching LevelDB's behaviour when the filter
+        policy is absent.
+        """
+        key_list = list(keys)
+        if bits_per_key <= 0:
+            empty = cls(8, 1)
+            empty._bits = bytearray(b"\xff")  # always "maybe"
+            return empty
+        nbits = max(64, bits_per_key * len(key_list))
+        nprobes = max(1, int(round(bits_per_key * math.log(2))))
+        bloom = cls(nbits, nprobes)
+        for key in key_list:
+            bloom.add(key)
+        return bloom
+
+    def add(self, key: int) -> None:
+        """Insert ``key``."""
+        mixed = _splitmix64(key)
+        h1 = mixed & 0xFFFFFFFF
+        h2 = (mixed >> 32) | 1  # odd increment avoids short cycles
+        bits = self._bits
+        nbits = self.nbits
+        for _ in range(self.nprobes):
+            slot = h1 % nbits
+            bits[slot >> 3] |= 1 << (slot & 7)
+            h1 = (h1 + h2) & 0xFFFFFFFF
+
+    def may_contain(self, key: int) -> bool:
+        """False means definitely absent; True means possibly present."""
+        mixed = _splitmix64(key)
+        h1 = mixed & 0xFFFFFFFF
+        h2 = (mixed >> 32) | 1
+        bits = self._bits
+        nbits = self.nbits
+        for _ in range(self.nprobes):
+            slot = h1 % nbits
+            if not bits[slot >> 3] & (1 << (slot & 7)):
+                return False
+            h1 = (h1 + h2) & 0xFFFFFFFF
+        return True
+
+    def size_bytes(self) -> int:
+        """In-memory footprint of the bit array."""
+        return len(self._bits)
+
+    # -- serialisation ----------------------------------------------------
+
+    def serialize(self) -> bytes:
+        """``nbits, nprobes, bits`` with a fixed 9-byte header."""
+        return struct.pack("<IB", self.nbits, self.nprobes) + bytes(self._bits)
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "BloomFilter":
+        """Inverse of :meth:`serialize`."""
+        if len(data) < 5:
+            raise CorruptionError("bloom filter payload too short")
+        nbits, nprobes = struct.unpack_from("<IB", data, 0)
+        bloom = cls(nbits, nprobes)
+        expected = (nbits + 7) // 8
+        body = data[5:]
+        if len(body) != expected:
+            raise CorruptionError(
+                f"bloom filter bit array length {len(body)} != {expected}")
+        bloom._bits = bytearray(body)
+        return bloom
+
+    def false_positive_rate(self, nkeys: int) -> float:
+        """Theoretical FPR after inserting ``nkeys`` keys."""
+        if nkeys == 0:
+            return 0.0
+        fill = 1.0 - math.exp(-self.nprobes * nkeys / self.nbits)
+        return fill ** self.nprobes

@@ -1,0 +1,241 @@
+"""Leveling compaction with partial merges (LevelDB's policy).
+
+Compactions are picked the way the paper's testbed (LevelDB) picks
+them:
+
+* level 0 compacts when it accumulates ``l0_compaction_trigger`` files;
+  all L0 files plus the overlapping L1 files merge into L1;
+* level L >= 1 compacts when its payload exceeds
+  ``write_buffer_bytes * T^L``; one file is chosen round-robin by key
+  (LevelDB's compact pointer) and merged with the overlapping files of
+  level L+1 — a *partial* compaction, so sorted runs are rewritten a
+  few SSTables at a time.
+
+Every stage is charged separately (read, merge, write, train, write
+model) so Figure 9's breakdown is a direct read-out of the stats
+registry.  Tombstones are dropped when nothing deeper can hold the
+key, exactly like LevelDB's ``IsBaseLevelForKey`` test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.lsm.iterators import MergingIterator
+from repro.lsm.options import CompactionPolicy, Granularity, Options
+from repro.lsm.record import Record
+from repro.lsm.sstable import TableBuilder
+from repro.lsm.version import FileMetaData, Version
+from repro.lsm.level_index import LevelModelManager
+from repro.indexes.registry import IndexFactory
+from repro.storage.block_device import BlockDevice
+from repro.storage.cost_model import CostModel
+from repro.storage.stats import (
+    COMPACT_BYTES_IN,
+    COMPACT_BYTES_OUT,
+    COMPACTIONS,
+    Stage,
+    Stats,
+)
+
+
+@dataclass
+class CompactionTask:
+    """One unit of compaction work: inputs above, overlaps below."""
+
+    level: int
+    inputs: List[FileMetaData]
+    overlaps: List[FileMetaData]
+
+    @property
+    def target_level(self) -> int:
+        """The level the merged output lands in."""
+        return self.level + 1
+
+    def all_inputs(self) -> List[FileMetaData]:
+        """Every input file, upper level first."""
+        return list(self.inputs) + list(self.overlaps)
+
+
+@dataclass
+class CompactionOutcome:
+    """What a finished compaction produced."""
+
+    task: CompactionTask
+    outputs: List[FileMetaData] = field(default_factory=list)
+    entries_in: int = 0
+    entries_out: int = 0
+    dropped_tombstones: int = 0
+    superseded: int = 0
+
+
+class Compactor:
+    """Executes the leveling policy over a :class:`Version`."""
+
+    def __init__(self, device: BlockDevice, options: Options, stats: Stats,
+                 cost: CostModel, index_factory: IndexFactory,
+                 next_file_name: Callable[[], str],
+                 next_file_number: Callable[[], int],
+                 level_models: Optional[LevelModelManager] = None) -> None:
+        self.device = device
+        self.options = options
+        self.stats = stats
+        self.cost = cost
+        self.index_factory = index_factory
+        self.next_file_name = next_file_name
+        self.next_file_number = next_file_number
+        self.level_models = level_models
+        #: LevelDB-style compact pointers: last compacted max key per level.
+        self._pointers: Dict[int, int] = {}
+
+    @property
+    def _tiering(self) -> bool:
+        return self.options.compaction_policy is CompactionPolicy.TIERING
+
+    # -- picking -----------------------------------------------------------
+
+    def pick_task(self, version: Version) -> Optional[CompactionTask]:
+        """The next compaction to run, or None when all levels fit."""
+        if self._tiering:
+            return self._pick_tiering(version)
+        options = self.options
+        if version.file_count(0) >= options.l0_compaction_trigger:
+            inputs = list(version.levels[0])
+            min_key = min(meta.min_key for meta in inputs)
+            max_key = max(meta.max_key for meta in inputs)
+            overlaps = version.overlapping_files(1, min_key, max_key)
+            return CompactionTask(level=0, inputs=inputs, overlaps=overlaps)
+        for level in range(1, options.max_levels - 1):
+            if (version.level_data_bytes(level)
+                    > options.level_capacity_bytes(level)):
+                chosen = self._round_robin_file(version, level)
+                overlaps = version.overlapping_files(
+                    level + 1, chosen.min_key, chosen.max_key)
+                return CompactionTask(level=level, inputs=[chosen],
+                                      overlaps=overlaps)
+        return None
+
+    def _pick_tiering(self, version: Version) -> Optional[CompactionTask]:
+        """Tiering: a full level of runs merges into one run below.
+
+        Nothing at the destination is rewritten (that is tiering's
+        write saving), so ``overlaps`` stays empty.
+        """
+        options = self.options
+        if version.file_count(0) >= options.l0_compaction_trigger:
+            return CompactionTask(level=0, inputs=list(version.levels[0]),
+                                  overlaps=[])
+        for level in range(1, options.max_levels - 1):
+            if version.file_count(level) >= options.size_ratio:
+                return CompactionTask(level=level,
+                                      inputs=list(version.levels[level]),
+                                      overlaps=[])
+        return None
+
+    def _round_robin_file(self, version: Version, level: int) -> FileMetaData:
+        files = version.levels[level]
+        pointer = self._pointers.get(level)
+        if pointer is not None:
+            for meta in files:
+                if meta.min_key > pointer:
+                    return meta
+        return files[0]
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, version: Version,
+            task: CompactionTask) -> CompactionOutcome:
+        """Merge the task's inputs into ``task.target_level``."""
+        outcome = CompactionOutcome(task=task)
+        all_inputs = task.all_inputs()
+        min_key = min(meta.min_key for meta in all_inputs)
+        max_key = max(meta.max_key for meta in all_inputs)
+        # Leveling rewrites the target level's overlap (it is part of the
+        # inputs), so only deeper levels matter; tiering leaves existing
+        # target-level runs untouched, so they count as "below" too.
+        overlap_from = task.level if self._tiering else task.target_level
+        drop_tombstones = not version.key_range_overlaps_below(
+            overlap_from, min_key, max_key)
+
+        merged = MergingIterator([
+            meta.table.iterator(refill_stage=Stage.COMPACT_READ)
+            for meta in all_inputs])
+        merged.seek_to_first()
+
+        outputs: List[FileMetaData] = []
+        builder: Optional[TableBuilder] = None
+        per_file_index = (self.options.granularity is Granularity.FILE
+                          or self.level_models is None)
+        factory = self.index_factory if per_file_index else None
+        target_level = task.target_level
+
+        last_key: Optional[int] = None
+        merge_cost = self.cost.merge_entry_us
+        while merged.valid():
+            record = merged.record()
+            merged.advance()
+            outcome.entries_in += 1
+            self.stats.charge(Stage.COMPACT_MERGE, merge_cost)
+            if record.key == last_key:
+                outcome.superseded += 1
+                continue  # an older version of a key already emitted
+            last_key = record.key
+            if record.is_tombstone and drop_tombstones:
+                outcome.dropped_tombstones += 1
+                continue
+            if builder is None:
+                builder = self._new_builder(factory, target_level)
+            builder.add(record)
+            outcome.entries_out += 1
+            # Tiering keeps each merge output as one run (one file) so
+            # run counting stays trivial; leveling chops at the SSTable
+            # size (the granularity axis).
+            if (not self._tiering
+                    and builder.payload_bytes >= self.options.sstable_bytes):
+                outputs.append(self._finish_builder(builder))
+                builder = None
+        if builder is not None and builder.entry_count:
+            outputs.append(self._finish_builder(builder))
+
+        self._install(version, task, outputs)
+        outcome.outputs = outputs
+        entry_bytes = self.options.entry_bytes
+        self.stats.add(COMPACTIONS)
+        self.stats.add(COMPACT_BYTES_IN, outcome.entries_in * entry_bytes)
+        self.stats.add(COMPACT_BYTES_OUT, outcome.entries_out * entry_bytes)
+        return outcome
+
+    def _new_builder(self, factory: Optional[IndexFactory],
+                     level: int) -> TableBuilder:
+        return TableBuilder(self.device, self.next_file_name(), self.options,
+                            factory, self.stats, self.cost, level=level)
+
+    def _finish_builder(self, builder: TableBuilder) -> FileMetaData:
+        table = builder.finish()
+        meta = FileMetaData(number=self.next_file_number(), table=table)
+        if self.level_models is not None:
+            self.level_models.register_keys(table.name, table.cached_keys)
+        else:
+            table.release_keys()
+        return meta
+
+    def _install(self, version: Version, task: CompactionTask,
+                 outputs: List[FileMetaData]) -> None:
+        version.remove_files(task.level, task.inputs)
+        version.remove_files(task.target_level, task.overlaps)
+        for meta in outputs:
+            version.add_file(task.target_level, meta)
+        if task.inputs:
+            self._pointers[task.level] = max(
+                meta.max_key for meta in task.inputs)
+        for meta in task.all_inputs():
+            if self.level_models is not None:
+                self.level_models.forget_keys(meta.name)
+            meta.table.close()
+        if self.level_models is not None:
+            self.level_models.rebuild(task.target_level,
+                                      version.levels[task.target_level])
+            if task.level >= 1:
+                self.level_models.rebuild(task.level,
+                                          version.levels[task.level])

@@ -1,0 +1,556 @@
+"""The LSM-tree database: LevelDB semantics over the simulated device.
+
+:class:`LSMTree` wires every substrate together: a skip-list memtable
+(+ optional WAL), L0 flushes, leveling compaction with partial merges,
+bloom filters, and — the point of the paper — pluggable per-table or
+per-level learned indexes configured by :class:`~repro.lsm.options.Options`.
+
+The read path follows the paper's Figure 1 (C):
+
+1. memtable probe;
+2. level by level: locate the candidate table (TABLE_LOOKUP), probe its
+   bloom filter, ask the learned index for a position bound
+   (PREDICTION), ``pread`` that segment (IO), binary-search it (SEARCH).
+
+Per-level read time and memory are tracked so Figure 10's level
+breakdown is a direct read-out.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import DatabaseClosedError, InvalidOptionError
+from repro.lsm.compaction import CompactionOutcome, Compactor
+from repro.lsm.iterators import (
+    DBIterator,
+    KVIterator,
+    MemTableIterator,
+    MergingIterator,
+)
+from repro.lsm.level_index import LevelModelManager
+from repro.lsm.memtable import MemTable
+from repro.lsm.options import CompactionPolicy, Granularity, Options
+from repro.lsm.record import Record, make_tombstone, make_value
+from repro.lsm.sstable import Table, TableBuilder, TableIterator
+from repro.lsm.version import FileMetaData, Version
+from repro.lsm.wal import WriteAheadLog
+from repro.storage.block_device import BlockDevice, MemoryBlockDevice
+from repro.storage.stats import (
+    BLOOM_FALSE_POSITIVES,
+    BLOOM_NEGATIVES,
+    BLOOM_PROBES,
+    FLUSHES,
+    POINT_LOOKUPS,
+    RANGE_LOOKUPS,
+    UPDATES,
+    Stage,
+    Stats,
+)
+
+
+class LSMTree:
+    """A single-threaded, deterministic LevelDB-style key-value store."""
+
+    def __init__(self, options: Optional[Options] = None,
+                 device: Optional[BlockDevice] = None) -> None:
+        self.options = options if options is not None else Options()
+        self.options.validate()
+        self.stats = Stats()
+        if device is None:
+            device = MemoryBlockDevice(block_size=self.options.block_size,
+                                       stats=self.stats)
+        else:
+            device.stats = self.stats
+        self.device = device
+        self.cost = self.options.cost_model
+        self.index_factory = self.options.make_index_factory()
+        self.level_models: Optional[LevelModelManager] = None
+        if self.options.granularity is Granularity.LEVEL:
+            self.level_models = LevelModelManager(
+                self.index_factory, self.stats, self.cost)
+        self.version = Version(
+            max_levels=self.options.max_levels,
+            overlapping_levels=(self.options.compaction_policy
+                                is CompactionPolicy.TIERING))
+        self.memtable = MemTable(self.options.entry_bytes)
+        self.wal: Optional[WriteAheadLog] = None
+        if self.options.enable_wal:
+            self.wal = WriteAheadLog(self.device)
+            self._replay_wal()
+        self._seq = 0
+        self._file_counter = 0
+        self._closed = False
+        self._level_read_us: Dict[int, float] = {}
+        self._level_read_ops: Dict[int, int] = {}
+        self.compactor = Compactor(
+            device=self.device, options=self.options, stats=self.stats,
+            cost=self.cost, index_factory=self.index_factory,
+            next_file_name=self._next_file_name,
+            next_file_number=self._next_file_number,
+            level_models=self.level_models)
+
+    # -- recovery ----------------------------------------------------------
+
+    @classmethod
+    def reopen(cls, options: Options, device: BlockDevice) -> "LSMTree":
+        """Rebuild a database from the files on ``device``.
+
+        Tables are self-describing (their footers record level and max
+        sequence number), so no separate manifest is needed: every
+        ``sst-*`` file is opened, placed back at its level, and the
+        sequence counter resumes past the highest persisted sequence.
+        When a WAL is enabled its surviving records land back in the
+        memtable on construction, completing crash recovery.
+        """
+        db = cls(options, device=device)
+        names = sorted(name for name in device.list_files()
+                       if name.startswith("sst-"))
+        metas: List[FileMetaData] = []
+        max_seq = db._seq  # WAL replay may already have advanced it
+        max_number = 0
+        for name in names:
+            table = Table.open(device, name, options, db.stats, db.cost)
+            number = int(name.split("-")[1])
+            metas.append(FileMetaData(number=number, table=table))
+            max_seq = max(max_seq, table.footer.max_seq)
+            max_number = max(max_number, number)
+        # Oldest first so overlapping levels end up newest-first.
+        for meta in sorted(metas, key=lambda m: m.number):
+            db.version.add_file(meta.table.footer.level, meta)
+        db._seq = max_seq
+        db._file_counter = max_number
+        if db.level_models is not None:
+            for level in range(1, options.max_levels):
+                files = db.version.levels[level]
+                for meta in files:
+                    db.level_models.register_keys(meta.table.name,
+                                                  meta.table.load_keys())
+                db.level_models.rebuild(level, files)
+        return db
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _next_file_number(self) -> int:
+        self._file_counter += 1
+        return self._file_counter
+
+    def _next_file_name(self) -> str:
+        return f"sst-{self._file_counter + 1:06d}"
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise DatabaseClosedError("operation on closed LSMTree")
+
+    def _replay_wal(self) -> None:
+        assert self.wal is not None
+        max_seq = 0
+        for record in self.wal.replay():
+            self.memtable.add(record)
+            max_seq = max(max_seq, record.seq)
+        self._seq = max_seq
+
+    # -- write path ----------------------------------------------------------
+
+    def put(self, key: int, value: bytes) -> None:
+        """Insert or overwrite ``key``."""
+        self._check_open()
+        if len(value) > self.options.value_capacity:
+            raise InvalidOptionError(
+                f"value of {len(value)} bytes exceeds value_capacity "
+                f"{self.options.value_capacity}")
+        self._seq += 1
+        record = make_value(key, self._seq, value)
+        self._apply(record)
+
+    def delete(self, key: int) -> None:
+        """Delete ``key`` (writes a tombstone)."""
+        self._check_open()
+        self._seq += 1
+        self._apply(make_tombstone(key, self._seq))
+
+    def _apply(self, record: Record) -> None:
+        if self.wal is not None:
+            self.wal.append(record)
+        self.memtable.add(record)
+        self.stats.add(UPDATES)
+        self.stats.charge(Stage.WRITE_PATH, self.cost.write_entry_us)
+        if self.memtable.approximate_bytes() >= self.options.write_buffer_bytes:
+            self.flush()
+
+    def flush(self) -> Optional[FileMetaData]:
+        """Write the memtable to a new L0 table and run due compactions."""
+        self._check_open()
+        if self.memtable.is_empty():
+            return None
+        builder = TableBuilder(self.device, self._next_file_name(),
+                               self.options, self.index_factory, self.stats,
+                               self.cost)
+        for record in self.memtable.records():
+            builder.add(record)
+        table = builder.finish()
+        meta = FileMetaData(number=self._next_file_number(), table=table)
+        if self.level_models is not None:
+            self.level_models.register_keys(table.name, table.cached_keys)
+        else:
+            table.release_keys()
+        self.version.add_file(0, meta)
+        self.memtable = MemTable(self.options.entry_bytes)
+        if self.wal is not None:
+            self.wal.reset()
+        self.stats.add(FLUSHES)
+        self.maybe_compact()
+        return meta
+
+    def maybe_compact(self) -> List[CompactionOutcome]:
+        """Run compactions until every level fits its capacity."""
+        outcomes: List[CompactionOutcome] = []
+        while True:
+            task = self.compactor.pick_task(self.version)
+            if task is None:
+                return outcomes
+            outcomes.append(self.compactor.run(self.version, task))
+
+    def bulk_ingest(self, keys, value_for=None, seed: int = 0) -> None:
+        """Offline leveled fill for benchmarks: no compaction churn.
+
+        Distributes sorted unique ``keys`` across levels 1..L in
+        steady-state proportions (each level filled proportionally to
+        its capacity, so deeper levels hold geometrically more data,
+        like a long-running database), builds the SSTables and indexes
+        directly, and leaves L0 and the memtable empty.  Key-to-level
+        assignment is a seeded shuffle, matching the random interleave
+        compaction produces.
+
+        The per-level key sets are recorded in ``last_ingest_levels``
+        (level -> sorted keys) for workloads that need level-aware
+        query mixes (the paper's Figure 10).
+        """
+        import random as _random
+
+        self._check_open()
+        if self.entry_count():
+            raise InvalidOptionError("bulk_ingest requires an empty database")
+        n = len(keys)
+        if n == 0:
+            return
+        options = self.options
+        capacities: List[int] = []
+        depth = 0
+        total = 0
+        while total < n:
+            depth += 1
+            if depth >= options.max_levels:
+                raise InvalidOptionError(
+                    f"{n} keys exceed capacity of {options.max_levels - 1} "
+                    "levels; raise max_levels or write_buffer_bytes")
+            capacity = options.entries_per_buffer * (
+                options.size_ratio ** depth)
+            capacities.append(capacity)
+            total += capacity
+        fill = n / total
+        rng = _random.Random(seed)
+        order = list(range(n))
+        rng.shuffle(order)
+        if value_for is None:
+            def value_for(key: int) -> bytes:  # noqa: ANN001 - local default
+                return (b"v%x" % key)[: options.value_capacity]
+        self.last_ingest_levels: Dict[int, List[int]] = {}
+        pos = 0
+        for level in range(1, depth + 1):
+            if level == depth:
+                count = n - pos
+            else:
+                count = min(n - pos, int(round(capacities[level - 1] * fill)))
+            if count <= 0:
+                continue
+            subset = sorted(keys[i] for i in order[pos:pos + count])
+            pos += count
+            self._ingest_level(level, subset, value_for)
+            self.last_ingest_levels[level] = subset
+
+    def _ingest_level(self, level: int, sorted_keys, value_for) -> None:
+        per_table = self.options.entries_per_sstable
+        per_file_index = (self.level_models is None or level == 0)
+        factory = self.index_factory if per_file_index else None
+        for start in range(0, len(sorted_keys), per_table):
+            chunk = sorted_keys[start:start + per_table]
+            builder = TableBuilder(self.device, self._next_file_name(),
+                                   self.options, factory, self.stats,
+                                   self.cost, level=level)
+            for key in chunk:
+                self._seq += 1
+                builder.add(make_value(key, self._seq, value_for(key)))
+            table = builder.finish()
+            meta = FileMetaData(number=self._next_file_number(), table=table)
+            if self.level_models is not None:
+                self.level_models.register_keys(table.name, table.cached_keys)
+            else:
+                table.release_keys()
+            self.version.add_file(level, meta)
+        if self.level_models is not None and level >= 1:
+            self.level_models.rebuild(level, self.version.levels[level])
+
+    # -- read path ----------------------------------------------------------
+
+    def get(self, key: int) -> Optional[bytes]:
+        """Point lookup; None when absent or deleted."""
+        self._check_open()
+        self.stats.add(POINT_LOOKUPS)
+        record = self._get_record(key)
+        if record is None or record.is_tombstone:
+            return None
+        return record.value
+
+    def _get_record(self, key: int) -> Optional[Record]:
+        # Memtable first (newest data).
+        self.stats.charge(
+            Stage.TABLE_LOOKUP,
+            self.cost.index_compare_us * self.memtable.comparison_depth())
+        hit = self.memtable.get(key)
+        if hit is not None:
+            return hit
+        for level in range(self.options.max_levels):
+            if not self.version.levels[level]:
+                continue
+            before = self.stats.read_time()
+            record = self._search_level(level, key)
+            elapsed = self.stats.read_time() - before
+            self._level_read_us[level] = (
+                self._level_read_us.get(level, 0.0) + elapsed)
+            self._level_read_ops[level] = (
+                self._level_read_ops.get(level, 0) + 1)
+            if record is not None:
+                return record
+        return None
+
+    def _search_level(self, level: int, key: int) -> Optional[Record]:
+        use_level_model = (self.level_models is not None and level >= 1)
+        if use_level_model:
+            return self._search_level_model(level, key)
+        candidates = self.version.files_for_key(level, key)
+        if level >= 1:
+            # Charge the binary search over the level's file ranges.
+            self.stats.charge(
+                Stage.TABLE_LOOKUP,
+                self.cost.binary_search_us(
+                    max(1, self.version.file_count(level))))
+        for meta in candidates:
+            if not self._bloom_admits(meta.table, key):
+                continue
+            record = meta.table.get(key)
+            if record is not None:
+                return record
+            self.stats.add(BLOOM_FALSE_POSITIVES)
+        return None
+
+    def _search_level_model(self, level: int, key: int) -> Optional[Record]:
+        assert self.level_models is not None
+        pairs = self.level_models.lookup(level, key)
+        for meta, bound in pairs:
+            if not meta.table.key_range_contains(key):
+                continue
+            if not self._bloom_admits(meta.table, key):
+                continue
+            record = meta.table.get_in_bound(key, bound)
+            if record is not None:
+                return record
+            self.stats.add(BLOOM_FALSE_POSITIVES)
+        return None
+
+    def _bloom_admits(self, table: Table, key: int) -> bool:
+        self.stats.add(BLOOM_PROBES)
+        self.stats.charge(Stage.TABLE_LOOKUP, self.cost.bloom_probe_us)
+        if table.bloom.may_contain(key):
+            return True
+        self.stats.add(BLOOM_NEGATIVES)
+        return False
+
+    # -- range lookups -------------------------------------------------------
+
+    def iterator(self) -> DBIterator:
+        """A merged, deduplicated iterator over the whole database."""
+        self._check_open()
+        children: List[KVIterator] = [MemTableIterator(self.memtable)]
+        for meta in self.version.levels[0]:
+            children.append(meta.table.iterator())
+        tiering = self.options.compaction_policy is CompactionPolicy.TIERING
+        for level in range(1, self.options.max_levels):
+            files = self.version.levels[level]
+            if not files:
+                continue
+            if tiering:
+                # Runs overlap: each is its own merge input.
+                children.extend(meta.table.iterator() for meta in files)
+            else:
+                children.append(LevelIterator(self, level, files))
+        return DBIterator(MergingIterator(children))
+
+    def scan(self, start_key: int, count: int) -> List[Tuple[int, bytes]]:
+        """Range lookup: up to ``count`` live entries from ``start_key``."""
+        self._check_open()
+        self.stats.add(RANGE_LOOKUPS)
+        cursor = self.iterator()
+        cursor.seek(start_key)
+        return cursor.take(count)
+
+    # -- memory accounting (the paper's memory axis) -------------------------
+
+    def index_memory_bytes(self) -> int:
+        """Total bytes of index structures held in memory."""
+        total = 0
+        for level, meta in self.version.all_files():
+            if self.level_models is not None and level >= 1:
+                continue  # covered by the level models below
+            total += meta.table.index_bytes()
+        if self.level_models is not None:
+            total += self.level_models.memory_bytes()
+        return total
+
+    def level_index_memory_bytes(self, level: int) -> int:
+        """Index bytes attributable to one level."""
+        if self.level_models is not None and level >= 1:
+            return self.level_models.memory_bytes(level)
+        return sum(meta.table.index_bytes()
+                   for meta in self.version.levels[level])
+
+    def bloom_memory_bytes(self) -> int:
+        """Total bloom filter bytes held in memory."""
+        return sum(meta.table.bloom_bytes()
+                   for _, meta in self.version.all_files())
+
+    def memory_breakdown(self) -> Dict[str, int]:
+        """Bytes per in-memory component (index / bloom / buffer)."""
+        return {
+            "index": self.index_memory_bytes(),
+            "bloom": self.bloom_memory_bytes(),
+            "buffer": self.options.write_buffer_bytes,
+        }
+
+    # -- introspection ------------------------------------------------------
+
+    def entry_count(self) -> int:
+        """Total entries across memtable and all levels (incl. stale)."""
+        return len(self.memtable) + sum(
+            meta.entry_count for _, meta in self.version.all_files())
+
+    def level_read_stats(self) -> Dict[int, Tuple[float, int]]:
+        """Per level: (simulated read microseconds, lookups that touched it)."""
+        return {level: (self._level_read_us.get(level, 0.0),
+                        self._level_read_ops.get(level, 0))
+                for level in sorted(set(self._level_read_us)
+                                    | set(self._level_read_ops))}
+
+    def reset_read_stats(self) -> None:
+        """Zero the per-level read accounting (between experiment phases)."""
+        self._level_read_us.clear()
+        self._level_read_ops.clear()
+
+    def describe_levels(self) -> List[Dict[str, float]]:
+        """Shape summary per non-empty level (files, entries, bytes)."""
+        out = []
+        for level in range(self.options.max_levels):
+            files = self.version.levels[level]
+            if not files:
+                continue
+            out.append({
+                "level": level,
+                "files": len(files),
+                "entries": self.version.level_entry_count(level),
+                "data_bytes": self.version.level_data_bytes(level),
+                "index_bytes": self.level_index_memory_bytes(level),
+            })
+        return out
+
+    def close(self) -> None:
+        """Flush nothing, release tables, mark closed."""
+        if self._closed:
+            return
+        self._closed = True
+        for _, meta in self.version.all_files():
+            meta.table.close()
+
+
+class LevelIterator(KVIterator):
+    """Concatenating iterator over one sorted-run level (LevelDB style).
+
+    Seeks use the per-table learned index (or the level model when the
+    database runs level granularity) for the initial positioning, then
+    stream sequentially, hopping to the next file when one is
+    exhausted.
+    """
+
+    def __init__(self, db: LSMTree, level: int,
+                 files: List[FileMetaData]) -> None:
+        self.db = db
+        self.level = level
+        self.files = files
+        self._file_idx = len(files)
+        self._iter: Optional[TableIterator] = None
+
+    def _open_file(self, idx: int) -> None:
+        self._file_idx = idx
+        if 0 <= idx < len(self.files):
+            self._iter = self.files[idx].table.iterator()
+        else:
+            self._iter = None
+
+    def seek_to_first(self) -> None:
+        self._open_file(0)
+        if self._iter is not None:
+            self._iter.seek_to_first()
+            self._skip_exhausted()
+
+    def seek(self, key: int) -> None:
+        keys = [meta.min_key for meta in self.files]
+        idx = bisect_right(keys, key) - 1
+        if idx < 0:
+            self.seek_to_first()
+            return
+        if key > self.files[idx].max_key:
+            # Key falls in the gap after file idx: start at the next file.
+            self._open_file(idx + 1)
+            if self._iter is not None:
+                self._iter.seek_to_first()
+                self._skip_exhausted()
+            return
+        self._open_file(idx)
+        assert self._iter is not None
+        if self.db.level_models is not None and self.level >= 1:
+            pairs = self.db.level_models.lookup(self.level, key)
+            target = next((bound for meta, bound in pairs
+                           if meta.number == self.files[idx].number), None)
+            if target is not None:
+                self._iter.seek_to_bound(key, target)
+            else:
+                self._iter.seek_to_first()
+                self._iter._skip_until(key)
+        else:
+            self._iter.seek(key)
+        self._skip_exhausted()
+
+    def _skip_exhausted(self) -> None:
+        while self._iter is not None and not self._iter.valid():
+            next_idx = self._file_idx + 1
+            if next_idx >= len(self.files):
+                self._iter = None
+                return
+            self._open_file(next_idx)
+            self._iter.seek_to_first()
+
+    def valid(self) -> bool:
+        return self._iter is not None and self._iter.valid()
+
+    def key(self) -> int:
+        assert self._iter is not None
+        return self._iter.key()
+
+    def record(self) -> Record:
+        assert self._iter is not None
+        return self._iter.record()
+
+    def advance(self) -> None:
+        assert self._iter is not None
+        self._iter.advance()
+        self._skip_exhausted()

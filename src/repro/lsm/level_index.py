@@ -1,0 +1,140 @@
+"""Level-granularity learned indexes (Dai et al.'s *LevelModel*).
+
+The paper's third configuration axis is index granularity: instead of
+one model per SSTable, a single model can cover an entire level's
+sorted run.  Fewer, larger models mean less inner-index overhead —
+Figure 8 shows a >10x memory drop from 8 MiB-file models to level
+models — at the cost of retraining the level model whenever a
+compaction rewrites part of the level.
+
+A :class:`LevelModel` concatenates the key arrays of the level's files
+(non-overlapping, sorted) into one virtual array, trains the configured
+index over it, and translates the resulting *global* position bounds
+back into per-file bounds.  Because levels >= 1 are single sorted
+runs, the translation is exact arithmetic over the files' cumulative
+entry counts.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import IndexBuildError
+from repro.indexes.base import ClusteredIndex, SearchBound
+from repro.indexes.registry import IndexFactory
+from repro.lsm.version import FileMetaData
+from repro.storage.cost_model import CostModel
+from repro.storage.stats import TRAIN_KEY_VISITS, Stage, Stats
+
+
+class LevelModel:
+    """One learned index spanning every file of one level."""
+
+    def __init__(self, files: List[FileMetaData],
+                 index: ClusteredIndex) -> None:
+        self.files = files
+        self.index = index
+        self.starts: List[int] = []
+        total = 0
+        for meta in files:
+            self.starts.append(total)
+            total += meta.entry_count
+        self.total_entries = total
+
+    def lookup(self, key: int) -> List[Tuple[FileMetaData, SearchBound]]:
+        """Per-file bounds covering the global predicted range for ``key``."""
+        bound = self.index.lookup(key)
+        out: List[Tuple[FileMetaData, SearchBound]] = []
+        first = max(0, bisect_right(self.starts, bound.lo) - 1)
+        for i in range(first, len(self.files)):
+            file_lo = self.starts[i]
+            file_hi = file_lo + self.files[i].entry_count
+            lo = max(bound.lo, file_lo)
+            hi = min(bound.hi, file_hi)
+            if lo < hi:
+                out.append((self.files[i],
+                            SearchBound(lo - file_lo, hi - file_lo)))
+            if file_hi >= bound.hi:
+                break
+        return out
+
+    def size_bytes(self) -> int:
+        """Serialized model footprint."""
+        return self.index.size_bytes()
+
+
+class LevelModelManager:
+    """Builds and caches one :class:`LevelModel` per level.
+
+    Table builders hand over their in-memory key arrays at build time
+    (`register_keys`); a level rebuild concatenates the arrays of the
+    level's current files, so retraining never re-reads the device.
+    Training cost is still charged through the normal stages, making
+    level-model retraining visible in Figure 9's breakdown.
+    """
+
+    def __init__(self, factory: IndexFactory, stats: Stats,
+                 cost: CostModel) -> None:
+        self.factory = factory
+        self.stats = stats
+        self.cost = cost
+        self._models: Dict[int, LevelModel] = {}
+        self._keys: Dict[str, Sequence[int]] = {}
+
+    # -- key bookkeeping ---------------------------------------------------
+
+    def register_keys(self, file_name: str, keys: Sequence[int]) -> None:
+        """Remember the sorted key array of a newly built table."""
+        self._keys[file_name] = keys
+
+    def forget_keys(self, file_name: str) -> None:
+        """Drop the key array of a deleted table."""
+        self._keys.pop(file_name, None)
+
+    # -- model lifecycle -----------------------------------------------------
+
+    def rebuild(self, level: int, files: List[FileMetaData]) -> None:
+        """Retrain the model for ``level`` over its current files."""
+        if not files:
+            self._models.pop(level, None)
+            return
+        ordered = sorted(files, key=lambda meta: meta.min_key)
+        merged: List[int] = []
+        for meta in ordered:
+            keys = self._keys.get(meta.name)
+            if keys is None:
+                raise IndexBuildError(
+                    f"no cached keys for {meta.name}; level model rebuilds "
+                    "require key registration at build time")
+            merged.extend(keys)
+        index = self.factory.create()
+        index.build(merged)
+        self.stats.add(TRAIN_KEY_VISITS, index.train_key_visits)
+        self.stats.charge(Stage.COMPACT_TRAIN,
+                          self.cost.train_us(index.train_key_visits))
+        payload_len = len(index.serialize())
+        self.stats.charge(Stage.COMPACT_WRITE_MODEL,
+                          self.cost.model_write_us(payload_len))
+        self._models[level] = LevelModel(ordered, index)
+
+    def model_for(self, level: int) -> Optional[LevelModel]:
+        """The current model of ``level`` (None when level is empty)."""
+        return self._models.get(level)
+
+    def lookup(self, level: int,
+               key: int) -> List[Tuple[FileMetaData, SearchBound]]:
+        """Per-file bounds for ``key`` at ``level``; charges prediction."""
+        model = self._models.get(level)
+        if model is None:
+            return []
+        self.stats.charge(Stage.PREDICTION,
+                          model.index.expected_lookup_cost_us(self.cost))
+        return model.lookup(key)
+
+    def memory_bytes(self, level: Optional[int] = None) -> int:
+        """Model memory for one level or all levels."""
+        if level is not None:
+            model = self._models.get(level)
+            return model.size_bytes() if model else 0
+        return sum(model.size_bytes() for model in self._models.values())

@@ -1,0 +1,124 @@
+"""The write buffer: a skip list keyed by user key.
+
+LevelDB's memtable is a skip list over internal keys; ours is a skip
+list over user keys holding the *newest* record per key (older
+in-buffer versions are superseded in place, which is equivalent for
+every externally observable behaviour and keeps flushed tables free of
+intra-table duplicates — a requirement for the strictly-increasing key
+arrays learned indexes are trained on).
+
+The implementation is a classic probabilistic skip list with a
+deterministic RNG so tests and benchmarks replay identically.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional
+
+from repro.lsm.record import Record
+
+_MAX_HEIGHT = 12
+_BRANCHING = 4
+
+
+class _SkipNode:
+    __slots__ = ("key", "record", "forward")
+
+    def __init__(self, key: int, record: Optional[Record], height: int) -> None:
+        self.key = key
+        self.record = record
+        self.forward: List[Optional["_SkipNode"]] = [None] * height
+
+
+class MemTable:
+    """Skip-list write buffer tracking its approximate on-disk size."""
+
+    def __init__(self, entry_bytes: int, seed: int = 0x5EED) -> None:
+        self._entry_bytes = entry_bytes
+        self._head = _SkipNode(-1, None, _MAX_HEIGHT)
+        self._height = 1
+        self._count = 0
+        self._rng = random.Random(seed)
+
+    def _random_height(self) -> int:
+        height = 1
+        while height < _MAX_HEIGHT and self._rng.randrange(_BRANCHING) == 0:
+            height += 1
+        return height
+
+    def _find_greater_or_equal(
+            self, key: int,
+            prev: Optional[List[_SkipNode]] = None) -> Optional[_SkipNode]:
+        node = self._head
+        for level in range(self._height - 1, -1, -1):
+            nxt = node.forward[level]
+            while nxt is not None and nxt.key < key:
+                node = nxt
+                nxt = node.forward[level]
+            if prev is not None:
+                prev[level] = node
+        return node.forward[0]
+
+    # -- mutation ----------------------------------------------------------
+
+    def add(self, record: Record) -> None:
+        """Insert ``record``; an existing entry for the key is superseded."""
+        prev: List[_SkipNode] = [self._head] * _MAX_HEIGHT
+        node = self._find_greater_or_equal(record.key, prev)
+        if node is not None and node.key == record.key:
+            if record.seq >= node.record.seq:
+                node.record = record
+            return
+        height = self._random_height()
+        if height > self._height:
+            self._height = height
+        new_node = _SkipNode(record.key, record, height)
+        for level in range(height):
+            new_node.forward[level] = prev[level].forward[level]
+            prev[level].forward[level] = new_node
+        self._count += 1
+
+    # -- queries -----------------------------------------------------------
+
+    def get(self, key: int) -> Optional[Record]:
+        """Newest record for ``key`` in the buffer, or None."""
+        node = self._find_greater_or_equal(key)
+        if node is not None and node.key == key:
+            return node.record
+        return None
+
+    def __len__(self) -> int:
+        return self._count
+
+    def approximate_bytes(self) -> int:
+        """Flushed size estimate (entries x fixed entry size)."""
+        return self._count * self._entry_bytes
+
+    def is_empty(self) -> bool:
+        """True when no records are buffered."""
+        return self._count == 0
+
+    def records(self) -> Iterator[Record]:
+        """All records in ascending key order."""
+        node = self._head.forward[0]
+        while node is not None:
+            yield node.record
+            node = node.forward[0]
+
+    def records_from(self, key: int) -> Iterator[Record]:
+        """Records with key >= ``key`` in ascending key order."""
+        node = self._find_greater_or_equal(key)
+        while node is not None:
+            yield node.record
+            node = node.forward[0]
+
+    def comparison_depth(self) -> int:
+        """Approximate comparisons for one lookup (for cost charging)."""
+        # A skip list behaves like a balanced structure of height
+        # log_b(n); each level costs ~b/2 comparisons.
+        count = max(2, self._count)
+        depth = 1
+        while _BRANCHING ** depth < count and depth < _MAX_HEIGHT:
+            depth += 1
+        return depth * (_BRANCHING // 2 + 1)

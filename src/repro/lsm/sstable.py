@@ -1,0 +1,483 @@
+"""SSTables in the paper's ``LearnedIndexTable`` format.
+
+Section 4.2 of the paper replaces LevelDB's block-based table with a
+format where "the inner index and data segments are serialized
+separately, with their offsets recorded in the file header":
+
+::
+
+    [ entries: entry_count x entry_bytes, sorted by key ]
+    [ learned index payload (absent under level granularity) ]
+    [ bloom filter payload ]
+    [ fixed-size footer: offsets, counts, key range, magic ]
+
+Point lookups follow the paper's ``InternalGet`` exactly: consult the
+in-memory learned index for a position bound, ``pread`` that segment,
+binary-search it.  Iterators (``NewIter``) seek the same way and then
+stream one device block at a time.
+
+All simulated-time charging happens here with the stage labels the
+experiments report: PREDICTION for the model, IO for the segment
+fetch, SEARCH for the in-segment binary search.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import CorruptionError
+from repro.indexes.base import ClusteredIndex, SearchBound
+from repro.indexes.registry import IndexFactory, deserialize_index
+from repro.lsm.bloom import BloomFilter
+from repro.lsm.iterators import KVIterator
+from repro.lsm.options import Options
+from repro.lsm.record import Record, decode_entry, decode_key, encode_entry
+from repro.storage.block_device import BlockDevice
+from repro.storage.cost_model import CostModel
+from repro.storage.stats import (
+    MODEL_BYTES_WRITTEN,
+    SEGMENTS_FETCHED,
+    TRAIN_KEY_VISITS,
+    Stage,
+    Stats,
+)
+
+_FOOTER = struct.Struct("<QIQIIQQQQQQIQ")
+_MAGIC = 0x4C49545F4C534D31  # "LIT_LSM1"
+FOOTER_BYTES = _FOOTER.size
+
+
+@dataclass(frozen=True)
+class TableFooter:
+    """Decoded footer of one table file.
+
+    ``level`` and ``max_seq`` make files self-describing, so a database
+    can be reopened from the device alone (see ``LSMTree.reopen``).
+    """
+
+    entry_count: int
+    entry_bytes: int
+    value_capacity: int
+    index_offset: int
+    index_len: int
+    bloom_offset: int
+    bloom_len: int
+    min_key: int
+    max_key: int
+    level: int = 0
+    max_seq: int = 0
+
+    def pack(self) -> bytes:
+        return _FOOTER.pack(
+            _MAGIC, 1, self.entry_count, self.entry_bytes,
+            self.value_capacity, self.index_offset, self.index_len,
+            self.bloom_offset, self.bloom_len, self.min_key, self.max_key,
+            self.level, self.max_seq)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "TableFooter":
+        if len(data) != FOOTER_BYTES:
+            raise CorruptionError(
+                f"footer must be {FOOTER_BYTES} bytes, got {len(data)}")
+        (magic, version, entry_count, entry_bytes, value_capacity,
+         index_offset, index_len, bloom_offset, bloom_len,
+         min_key, max_key, level, max_seq) = _FOOTER.unpack(data)
+        if magic != _MAGIC:
+            raise CorruptionError(f"bad table magic: {magic:#x}")
+        if version != 1:
+            raise CorruptionError(f"unsupported table version: {version}")
+        return cls(entry_count, entry_bytes, value_capacity, index_offset,
+                   index_len, bloom_offset, bloom_len, min_key, max_key,
+                   level, max_seq)
+
+
+class TableBuilder:
+    """Builds one table file from sorted records (the paper's BuildTable).
+
+    Records must arrive in strictly increasing key order (compaction
+    outputs satisfy this by construction).  Training cost, data-write
+    cost and model-write cost are charged to the compaction stages so
+    Figure 9's breakdown can be read straight from the stats registry.
+    """
+
+    def __init__(self, device: BlockDevice, name: str, options: Options,
+                 index_factory: Optional[IndexFactory], stats: Stats,
+                 cost: CostModel, level: int = 0) -> None:
+        self.device = device
+        self.name = name
+        self.options = options
+        self.index_factory = index_factory
+        self.stats = stats
+        self.cost = cost
+        self.level = level
+        self._keys: List[int] = []
+        self._chunks: List[bytes] = []
+        self._max_seq = 0
+        self._finished = False
+
+    def add(self, record: Record) -> None:
+        """Append one record; keys must strictly increase."""
+        if self._keys and record.key <= self._keys[-1]:
+            raise CorruptionError(
+                f"table builder keys must strictly increase: "
+                f"{self._keys[-1]} then {record.key}")
+        self._keys.append(record.key)
+        if record.seq > self._max_seq:
+            self._max_seq = record.seq
+        self._chunks.append(encode_entry(record, self.options.value_capacity))
+
+    @property
+    def entry_count(self) -> int:
+        """Records added so far."""
+        return len(self._keys)
+
+    @property
+    def payload_bytes(self) -> int:
+        """Data bytes added so far (used for SSTable size targeting)."""
+        return len(self._keys) * self.options.entry_bytes
+
+    def finish(self) -> "Table":
+        """Write data, train + serialise the index, write bloom + footer."""
+        if self._finished:
+            raise CorruptionError("TableBuilder.finish called twice")
+        if not self._keys:
+            raise CorruptionError("cannot finish an empty table")
+        self._finished = True
+        device = self.device
+        cost = self.cost
+        stats = self.stats
+
+        device.create(self.name)
+        data = b"".join(self._chunks)
+        device.append(self.name, data)
+        nblocks = (len(data) + device.block_size - 1) // device.block_size
+        stats.charge(Stage.COMPACT_WRITE, cost.write_us(nblocks))
+
+        # Train the per-table index (skipped under level granularity,
+        # where the level model is built by the caller).
+        index: Optional[ClusteredIndex] = None
+        index_payload = b""
+        if self.index_factory is not None:
+            index = self.index_factory.create()
+            index.build(self._keys)
+            stats.add(TRAIN_KEY_VISITS, index.train_key_visits)
+            stats.charge(Stage.COMPACT_TRAIN,
+                         cost.train_us(index.train_key_visits))
+            index_payload = index.serialize()
+            stats.add(MODEL_BYTES_WRITTEN, len(index_payload))
+            stats.charge(Stage.COMPACT_WRITE_MODEL,
+                         cost.model_write_us(len(index_payload)))
+
+        bloom = BloomFilter.build(self._keys,
+                                  self.options.bloom_bits_for(self.level))
+        # Bloom construction costs one cheap hash-insert per key and is
+        # identical across index types; charge it with the data write.
+        stats.charge(Stage.COMPACT_WRITE,
+                     cost.index_compare_us * len(self._keys))
+        bloom_payload = bloom.serialize()
+
+        index_offset = len(data)
+        bloom_offset = index_offset + len(index_payload)
+        footer = TableFooter(
+            entry_count=len(self._keys),
+            entry_bytes=self.options.entry_bytes,
+            value_capacity=self.options.value_capacity,
+            index_offset=index_offset,
+            index_len=len(index_payload),
+            bloom_offset=bloom_offset,
+            bloom_len=len(bloom_payload),
+            min_key=self._keys[0],
+            max_key=self._keys[-1],
+            level=self.level,
+            max_seq=self._max_seq,
+        )
+        tail = index_payload + bloom_payload + footer.pack()
+        device.append(self.name, tail)
+        tail_blocks = (len(tail) + device.block_size - 1) // device.block_size
+        stats.charge(Stage.COMPACT_WRITE, cost.write_us(tail_blocks))
+
+        return Table(device=device, name=self.name, options=self.options,
+                     stats=stats, cost=cost, footer=footer, index=index,
+                     bloom=bloom, keys=self._keys)
+
+
+class Table:
+    """An open, immutable table: the paper's ``LearnedIndexTable``.
+
+    The index and bloom filter live in memory (as LevelDB caches
+    them); entry payloads are fetched from the device on demand.
+    """
+
+    def __init__(self, device: BlockDevice, name: str, options: Options,
+                 stats: Stats, cost: CostModel, footer: TableFooter,
+                 index: Optional[ClusteredIndex], bloom: BloomFilter,
+                 keys: Optional[List[int]] = None) -> None:
+        self.device = device
+        self.name = name
+        self.options = options
+        self.stats = stats
+        self.cost = cost
+        self.footer = footer
+        self.index = index
+        self.bloom = bloom
+        #: Kept only while needed by level-model rebuilds; dropped via
+        #: :meth:`release_keys` otherwise.
+        self.cached_keys = keys
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def open(cls, device: BlockDevice, name: str, options: Options,
+             stats: Stats, cost: CostModel) -> "Table":
+        """Open a table from the device (recovery path)."""
+        size = device.size(name)
+        if size < FOOTER_BYTES:
+            raise CorruptionError(f"table {name} too small for a footer")
+        footer = TableFooter.unpack(
+            device.pread(name, size - FOOTER_BYTES, FOOTER_BYTES))
+        index = None
+        if footer.index_len:
+            payload = device.pread(name, footer.index_offset, footer.index_len)
+            index = deserialize_index(payload)
+        bloom = BloomFilter.deserialize(
+            device.pread(name, footer.bloom_offset, footer.bloom_len))
+        return cls(device=device, name=name, options=options, stats=stats,
+                   cost=cost, footer=footer, index=index, bloom=bloom)
+
+    def release_keys(self) -> None:
+        """Drop the cached build-time key array."""
+        self.cached_keys = None
+
+    def load_keys(self) -> List[int]:
+        """Read the sorted key array back from the device.
+
+        Used by recovery when level models must be rebuilt; charges the
+        read as compaction input.
+        """
+        if self.cached_keys is not None:
+            return list(self.cached_keys)
+        entry_bytes = self.footer.entry_bytes
+        data = self.read_entries(0, self.footer.entry_count,
+                                 Stage.COMPACT_READ)
+        keys = [decode_key(data, i * entry_bytes)
+                for i in range(self.footer.entry_count)]
+        self.cached_keys = keys
+        return list(keys)
+
+    def close(self) -> None:
+        """Delete the backing file (called when the table is obsolete)."""
+        if self.device.exists(self.name):
+            self.device.delete(self.name)
+
+    # -- metadata ------------------------------------------------------------
+
+    @property
+    def entry_count(self) -> int:
+        """Entries stored in the table."""
+        return self.footer.entry_count
+
+    @property
+    def min_key(self) -> int:
+        """Smallest user key."""
+        return self.footer.min_key
+
+    @property
+    def max_key(self) -> int:
+        """Largest user key."""
+        return self.footer.max_key
+
+    @property
+    def file_bytes(self) -> int:
+        """Total file size."""
+        return self.device.size(self.name)
+
+    def index_bytes(self) -> int:
+        """Serialized size of the per-table index (0 under level model)."""
+        return self.footer.index_len
+
+    def bloom_bytes(self) -> int:
+        """Serialized size of the bloom filter."""
+        return self.footer.bloom_len
+
+    def key_range_contains(self, key: int) -> bool:
+        """True when ``key`` falls inside [min_key, max_key]."""
+        return self.footer.min_key <= key <= self.footer.max_key
+
+    # -- reads -----------------------------------------------------------
+
+    def read_entries(self, lo: int, hi: int, stage: Stage,
+                     *, seeks: int = 1) -> bytes:
+        """Fetch entries [lo, hi) from the device, charging ``stage``."""
+        entry_bytes = self.footer.entry_bytes
+        offset = lo * entry_bytes
+        length = (hi - lo) * entry_bytes
+        data = self.device.pread(self.name, offset, length)
+        nblocks = self.cost.blocks_spanned(offset, length)
+        self.stats.charge(stage, self.cost.read_us(nblocks, seeks=seeks))
+        return data
+
+    def _bound_for(self, key: int) -> SearchBound:
+        if self.index is None:
+            raise CorruptionError(
+                f"table {self.name} has no per-table index; lookups must "
+                "go through the level model")
+        bound = self.index.lookup(key)
+        self.stats.charge(Stage.PREDICTION,
+                          self.index.expected_lookup_cost_us(self.cost))
+        return bound
+
+    def get(self, key: int) -> Optional[Record]:
+        """Point lookup via predict -> pread -> binary search."""
+        bound = self._bound_for(key)
+        return self.get_in_bound(key, bound)
+
+    def get_in_bound(self, key: int, bound: SearchBound) -> Optional[Record]:
+        """Point lookup when a bound is already known (level model path)."""
+        bound = bound.clamped(self.footer.entry_count)
+        if bound.width <= 0:
+            return None
+        data = self.read_entries(bound.lo, bound.hi, Stage.IO)
+        self.stats.add(SEGMENTS_FETCHED)
+        idx = self._binary_search(data, bound.width, key)
+        self.stats.charge(Stage.SEARCH,
+                          self.cost.segment_search_us(bound.width))
+        if idx is None:
+            return None
+        return decode_entry(data, idx * self.footer.entry_bytes,
+                            self.footer.value_capacity)
+
+    def _binary_search(self, data: bytes, count: int,
+                       key: int) -> Optional[int]:
+        entry_bytes = self.footer.entry_bytes
+        lo, hi = 0, count
+        while lo < hi:
+            mid = (lo + hi) // 2
+            probe = decode_key(data, mid * entry_bytes)
+            if probe < key:
+                lo = mid + 1
+            elif probe > key:
+                hi = mid
+            else:
+                return mid
+        return None
+
+    def iterator(self, refill_stage: Stage = Stage.SCAN) -> "TableIterator":
+        """Sequential iterator (range lookups, compaction inputs)."""
+        return TableIterator(self, refill_stage)
+
+
+class TableIterator(KVIterator):
+    """Iterator over one table, streaming one device block per refill.
+
+    The initial positioning of :meth:`seek` uses the learned index and
+    charges the point-lookup stages; subsequent :meth:`advance` calls
+    stream forward a block at a time charging ``refill_stage`` (SCAN
+    for range queries, COMPACT_READ for compaction inputs), mirroring
+    the paper's range-lookup implementation.
+    """
+
+    def __init__(self, table: Table, refill_stage: Stage) -> None:
+        self.table = table
+        self.refill_stage = refill_stage
+        self._pos = table.entry_count  # invalid
+        self._buf = b""
+        self._buf_lo = 0
+        self._buf_hi = 0
+
+    # -- buffer management ----------------------------------------------
+
+    def _entries_per_refill(self) -> int:
+        entry_bytes = self.table.footer.entry_bytes
+        return max(1, self.table.device.block_size // entry_bytes)
+
+    def _fetch(self, lo: int, hi: int, stage: Stage, seeks: int) -> None:
+        hi = min(hi, self.table.entry_count)
+        self._buf = self.table.read_entries(lo, hi, stage, seeks=seeks)
+        self._buf_lo = lo
+        self._buf_hi = hi
+
+    def _ensure_buffered(self, pos: int) -> None:
+        if self._buf_lo <= pos < self._buf_hi:
+            return
+        per = self._entries_per_refill()
+        # Align refills to device blocks (when entries pack evenly) so
+        # sequential scans read each block exactly once regardless of
+        # where the initial seek landed.
+        entry_bytes = self.table.footer.entry_bytes
+        if self.table.device.block_size % entry_bytes == 0:
+            lo = pos - (pos % per)
+        else:
+            lo = pos
+        self._fetch(lo, lo + per, self.refill_stage, seeks=0)
+
+    # -- KVIterator ---------------------------------------------------------
+
+    def seek_to_first(self) -> None:
+        self._pos = 0
+        if self.table.entry_count:
+            self._fetch(0, self._entries_per_refill(), self.refill_stage,
+                        seeks=1)
+
+    def seek(self, key: int) -> None:
+        table = self.table
+        if table.index is None:
+            # Level-model tables: the caller narrows with seek_to_bound.
+            self.seek_to_first()
+            self._skip_until(key)
+            return
+        bound = table.index.lookup(key)
+        table.stats.charge(Stage.PREDICTION,
+                           table.index.expected_lookup_cost_us(table.cost))
+        self.seek_to_bound(key, bound)
+
+    def seek_to_bound(self, key: int, bound: SearchBound) -> None:
+        """Seek using an externally supplied position bound."""
+        table = self.table
+        bound = bound.clamped(table.entry_count)
+        if bound.width <= 0:
+            self._pos = min(bound.lo, table.entry_count)
+            if self._pos < table.entry_count:
+                self._ensure_buffered(self._pos)
+                self._skip_until(key)
+            return
+        self._fetch(bound.lo, bound.hi, Stage.IO, seeks=1)
+        table.stats.add(SEGMENTS_FETCHED)
+        table.stats.charge(Stage.SEARCH,
+                           table.cost.segment_search_us(bound.width))
+        self._pos = self._buf_lo + self._lower_bound_in_buf(key)
+        self._skip_until(key)
+
+    def _lower_bound_in_buf(self, key: int) -> int:
+        entry_bytes = self.table.footer.entry_bytes
+        lo, hi = 0, self._buf_hi - self._buf_lo
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if decode_key(self._buf, mid * entry_bytes) < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def _skip_until(self, key: int) -> None:
+        """Safety net: step forward while positioned before ``key``."""
+        while self.valid() and self.key() < key:
+            self.advance()
+
+    def valid(self) -> bool:
+        return 0 <= self._pos < self.table.entry_count
+
+    def key(self) -> int:
+        self._ensure_buffered(self._pos)
+        offset = (self._pos - self._buf_lo) * self.table.footer.entry_bytes
+        return decode_key(self._buf, offset)
+
+    def record(self) -> Record:
+        self._ensure_buffered(self._pos)
+        offset = (self._pos - self._buf_lo) * self.table.footer.entry_bytes
+        return decode_entry(self._buf, offset,
+                            self.table.footer.value_capacity)
+
+    def advance(self) -> None:
+        self._pos += 1

@@ -1,0 +1,169 @@
+"""Level metadata: which tables live where.
+
+A :class:`Version` tracks the file layout: level 0 holds possibly
+overlapping tables ordered newest-first (each flush adds one); levels
+1+ are single sorted runs partitioned into non-overlapping SSTables
+ordered by key.  This mirrors LevelDB's manifest state, minus the
+on-disk manifest (the simulated device makes recovery-by-scan cheap
+and the benchmarks never need it).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+from repro.errors import StorageError
+from repro.lsm.sstable import Table
+
+
+@dataclass
+class FileMetaData:
+    """One live SSTable and its bookkeeping."""
+
+    number: int
+    table: Table
+
+    @property
+    def name(self) -> str:
+        """Device file name."""
+        return self.table.name
+
+    @property
+    def min_key(self) -> int:
+        """Smallest user key in the file."""
+        return self.table.min_key
+
+    @property
+    def max_key(self) -> int:
+        """Largest user key in the file."""
+        return self.table.max_key
+
+    @property
+    def entry_count(self) -> int:
+        """Entries stored in the file."""
+        return self.table.entry_count
+
+    @property
+    def data_bytes(self) -> int:
+        """Payload bytes (entries only, excluding index/bloom/footer)."""
+        return self.table.entry_count * self.table.footer.entry_bytes
+
+
+@dataclass
+class Version:
+    """Mutable file layout across levels.
+
+    With ``overlapping_levels`` (tiering), every level behaves like
+    level 0: files may overlap and are kept newest-first.  Otherwise
+    (leveling) levels >= 1 are single sorted runs and overlap is a
+    structural error.
+    """
+
+    max_levels: int
+    overlapping_levels: bool = False
+    levels: List[List[FileMetaData]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            self.levels = [[] for _ in range(self.max_levels)]
+
+    def _level_overlaps(self, level: int) -> bool:
+        return level == 0 or self.overlapping_levels
+
+    # -- mutation ----------------------------------------------------------
+
+    def add_file(self, level: int, meta: FileMetaData) -> None:
+        """Register ``meta`` at ``level`` keeping the level's ordering."""
+        self._check_level(level)
+        files = self.levels[level]
+        if self._level_overlaps(level):
+            files.insert(0, meta)  # newest first
+            return
+        keys = [existing.min_key for existing in files]
+        pos = bisect_right(keys, meta.min_key)
+        if pos > 0 and files[pos - 1].max_key >= meta.min_key:
+            raise StorageError(
+                f"overlap adding file {meta.name} to level {level}")
+        if pos < len(files) and files[pos].min_key <= meta.max_key:
+            raise StorageError(
+                f"overlap adding file {meta.name} to level {level}")
+        files.insert(pos, meta)
+
+    def remove_files(self, level: int, metas: Iterable[FileMetaData]) -> None:
+        """Drop the given files from ``level``."""
+        self._check_level(level)
+        numbers = {meta.number for meta in metas}
+        self.levels[level] = [meta for meta in self.levels[level]
+                              if meta.number not in numbers]
+
+    # -- queries -----------------------------------------------------------
+
+    def files_for_key(self, level: int, key: int) -> List[FileMetaData]:
+        """Files at ``level`` whose key range may contain ``key``.
+
+        Overlapping levels (level 0, or every level under tiering)
+        return every covering file newest-first; sorted-run levels
+        return at most one file.
+        """
+        self._check_level(level)
+        files = self.levels[level]
+        if self._level_overlaps(level):
+            return [meta for meta in files
+                    if meta.min_key <= key <= meta.max_key]
+        idx = bisect_right([meta.min_key for meta in files], key) - 1
+        if idx >= 0 and files[idx].max_key >= key:
+            return [files[idx]]
+        return []
+
+    def overlapping_files(self, level: int, min_key: int,
+                          max_key: int) -> List[FileMetaData]:
+        """Files at ``level`` whose range intersects [min_key, max_key]."""
+        self._check_level(level)
+        return [meta for meta in self.levels[level]
+                if meta.max_key >= min_key and meta.min_key <= max_key]
+
+    def level_data_bytes(self, level: int) -> int:
+        """Sum of payload bytes at ``level``."""
+        self._check_level(level)
+        return sum(meta.data_bytes for meta in self.levels[level])
+
+    def level_entry_count(self, level: int) -> int:
+        """Sum of entries at ``level``."""
+        self._check_level(level)
+        return sum(meta.entry_count for meta in self.levels[level])
+
+    def file_count(self, level: Optional[int] = None) -> int:
+        """File count at one level, or across all levels."""
+        if level is not None:
+            self._check_level(level)
+            return len(self.levels[level])
+        return sum(len(files) for files in self.levels)
+
+    def deepest_nonempty_level(self) -> int:
+        """Index of the deepest level holding data (-1 when empty)."""
+        for level in range(self.max_levels - 1, -1, -1):
+            if self.levels[level]:
+                return level
+        return -1
+
+    def all_files(self) -> List[Tuple[int, FileMetaData]]:
+        """Every (level, file) pair, shallow levels first."""
+        out: List[Tuple[int, FileMetaData]] = []
+        for level, files in enumerate(self.levels):
+            out.extend((level, meta) for meta in files)
+        return out
+
+    def key_range_overlaps_below(self, level: int, min_key: int,
+                                 max_key: int) -> bool:
+        """True when any file deeper than ``level`` intersects the range."""
+        for deeper in range(level + 1, self.max_levels):
+            if self.overlapping_files(deeper, min_key, max_key):
+                return True
+        return False
+
+    def _check_level(self, level: int) -> None:
+        if not 0 <= level < self.max_levels:
+            raise StorageError(
+                f"level {level} out of range [0, {self.max_levels})")

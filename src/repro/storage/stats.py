@@ -1,0 +1,227 @@
+"""Counters and simulated-time accounting shared by the whole system.
+
+The paper reports two kinds of numbers for every experiment: *latencies*
+(broken down into table lookup, model prediction, disk I/O and in-segment
+binary search — its Figure 7 and Table 1) and *resource counters* (blocks
+read, bytes moved during compaction, index memory).  This module provides
+the single registry both kinds flow through.
+
+Real wall-clock time in Python would be dominated by interpreter overhead
+and would not preserve the paper's C++ ratios, so latency here is
+*simulated*: components charge microseconds computed by
+:class:`repro.storage.cost_model.CostModel` into a :class:`Stats` object
+under a :class:`Stage` label.  The result is deterministic, reproducible
+and — because the constants are calibrated against the paper's own
+Table 1 — shape-preserving.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Tuple
+
+
+class Stage(str, enum.Enum):
+    """Labels for the simulated-time breakdown.
+
+    The first four stages are exactly the four rows of the paper's
+    Table 1; the remaining stages cover writes, compaction and range
+    scans so that Figure 9's compaction breakdown can be reported from
+    the same registry.
+    """
+
+    #: Locating the SSTable that may hold the key (version walk + bloom).
+    TABLE_LOOKUP = "table_lookup"
+    #: Inner-index access plus model evaluation ("Prediction" in Table 1).
+    PREDICTION = "prediction"
+    #: Block reads performed with the simulated ``pread``.
+    IO = "io"
+    #: Binary search inside the fetched segment.
+    SEARCH = "search"
+    #: Memtable / WAL work on the write path.
+    WRITE_PATH = "write_path"
+    #: Compaction: reading input key-value blocks.
+    COMPACT_READ = "compact_read"
+    #: Compaction: merging (decode, compare, re-encode).
+    COMPACT_MERGE = "compact_merge"
+    #: Compaction: writing output key-value blocks.
+    COMPACT_WRITE = "compact_write"
+    #: Compaction: training the learned index ("Learn" in Figure 9 B).
+    COMPACT_TRAIN = "compact_train"
+    #: Compaction: serialising and writing the model ("Write Model").
+    COMPACT_WRITE_MODEL = "compact_write_model"
+    #: Sequential scan work beyond the initial seek (range lookups).
+    SCAN = "scan"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Stages that make up a point/range lookup (used for per-op latency).
+READ_STAGES: Tuple[Stage, ...] = (
+    Stage.TABLE_LOOKUP,
+    Stage.PREDICTION,
+    Stage.IO,
+    Stage.SEARCH,
+    Stage.SCAN,
+)
+
+#: Stages that make up a compaction (Figure 9's breakdown).
+COMPACTION_STAGES: Tuple[Stage, ...] = (
+    Stage.COMPACT_READ,
+    Stage.COMPACT_MERGE,
+    Stage.COMPACT_WRITE,
+    Stage.COMPACT_TRAIN,
+    Stage.COMPACT_WRITE_MODEL,
+)
+
+
+@dataclass
+class Stats:
+    """A registry of named counters plus per-stage simulated time.
+
+    ``counters`` hold raw event counts (blocks read, bloom probes,
+    segments fetched, ...).  ``stage_us`` holds simulated microseconds
+    per :class:`Stage`.  Both are plain dictionaries so snapshots and
+    diffs are cheap; experiments snapshot around each operation to get
+    per-operation latency.
+    """
+
+    counters: Dict[str, float] = field(default_factory=dict)
+    stage_us: Dict[Stage, float] = field(default_factory=dict)
+
+    # -- counters ------------------------------------------------------
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self.counters[name] = self.counters.get(name, 0.0) + amount
+
+    def get(self, name: str) -> float:
+        """Return counter ``name`` (0.0 when never incremented)."""
+        return self.counters.get(name, 0.0)
+
+    # -- simulated time ------------------------------------------------
+
+    def charge(self, stage: Stage, us: float) -> None:
+        """Add ``us`` simulated microseconds to ``stage``."""
+        if us < 0:
+            raise ValueError(f"negative time charge: {us}")
+        self.stage_us[stage] = self.stage_us.get(stage, 0.0) + us
+
+    def stage_time(self, stage: Stage) -> float:
+        """Simulated microseconds accumulated under ``stage``."""
+        return self.stage_us.get(stage, 0.0)
+
+    def total_time(self) -> float:
+        """Simulated microseconds across all stages."""
+        return sum(self.stage_us.values())
+
+    def read_time(self) -> float:
+        """Simulated microseconds across the read-path stages."""
+        return sum(self.stage_us.get(stage, 0.0) for stage in READ_STAGES)
+
+    def compaction_time(self) -> float:
+        """Simulated microseconds across the compaction stages."""
+        return sum(self.stage_us.get(stage, 0.0) for stage in COMPACTION_STAGES)
+
+    # -- snapshots -----------------------------------------------------
+
+    def snapshot(self) -> "StatsSnapshot":
+        """Capture the current totals for later :meth:`StatsSnapshot.delta`."""
+        return StatsSnapshot(dict(self.counters), dict(self.stage_us))
+
+    def merge(self, other: "Stats") -> None:
+        """Fold ``other``'s totals into this registry."""
+        for name, amount in other.counters.items():
+            self.add(name, amount)
+        for stage, us in other.stage_us.items():
+            self.charge(stage, us)
+
+    def reset(self) -> None:
+        """Zero every counter and stage time."""
+        self.counters.clear()
+        self.stage_us.clear()
+
+    # -- reporting -----------------------------------------------------
+
+    def breakdown(self) -> Mapping[str, float]:
+        """Return ``{stage name: simulated us}`` for human-readable reports."""
+        return {stage.value: us for stage, us in sorted(
+            self.stage_us.items(), key=lambda item: item[0].value)}
+
+    def __iter__(self) -> Iterator[Tuple[str, float]]:
+        return iter(sorted(self.counters.items()))
+
+
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """An immutable capture of a :class:`Stats` registry.
+
+    ``delta`` between two snapshots (or a snapshot and the live registry)
+    yields the counters and time spent inside a window — this is how the
+    harness attributes cost to individual operations.
+    """
+
+    counters: Mapping[str, float]
+    stage_us: Mapping[Stage, float]
+
+    def delta(self, later: "Stats | StatsSnapshot") -> "StatsDelta":
+        """Return the change from this snapshot to ``later``."""
+        counters = {
+            name: amount - self.counters.get(name, 0.0)
+            for name, amount in later.counters.items()
+            if amount != self.counters.get(name, 0.0)
+        }
+        stage_us = {
+            stage: us - self.stage_us.get(stage, 0.0)
+            for stage, us in later.stage_us.items()
+            if us != self.stage_us.get(stage, 0.0)
+        }
+        return StatsDelta(counters, stage_us)
+
+
+@dataclass(frozen=True)
+class StatsDelta:
+    """Counters and per-stage time accumulated inside a window."""
+
+    counters: Mapping[str, float]
+    stage_us: Mapping[Stage, float]
+
+    def stage_time(self, stage: Stage) -> float:
+        """Simulated microseconds spent in ``stage`` inside the window."""
+        return self.stage_us.get(stage, 0.0)
+
+    def total_time(self) -> float:
+        """Simulated microseconds across all stages inside the window."""
+        return sum(self.stage_us.values())
+
+    def read_time(self) -> float:
+        """Simulated microseconds across the read-path stages."""
+        return sum(self.stage_us.get(stage, 0.0) for stage in READ_STAGES)
+
+    def counter(self, name: str) -> float:
+        """Counter change inside the window (0.0 when untouched)."""
+        return self.counters.get(name, 0.0)
+
+
+# Canonical counter names, collected here so call sites and tests agree.
+BLOCKS_READ = "io.blocks_read"
+BLOCKS_WRITTEN = "io.blocks_written"
+BYTES_READ = "io.bytes_read"
+BYTES_WRITTEN = "io.bytes_written"
+READ_CALLS = "io.read_calls"
+WRITE_CALLS = "io.write_calls"
+SEGMENTS_FETCHED = "lookup.segments_fetched"
+BLOOM_PROBES = "lookup.bloom_probes"
+BLOOM_NEGATIVES = "lookup.bloom_negatives"
+BLOOM_FALSE_POSITIVES = "lookup.bloom_false_positives"
+POINT_LOOKUPS = "op.point_lookups"
+RANGE_LOOKUPS = "op.range_lookups"
+UPDATES = "op.updates"
+FLUSHES = "op.flushes"
+COMPACTIONS = "op.compactions"
+COMPACT_BYTES_IN = "compaction.bytes_in"
+COMPACT_BYTES_OUT = "compaction.bytes_out"
+TRAIN_KEY_VISITS = "train.key_visits"
+MODEL_BYTES_WRITTEN = "train.model_bytes_written"

@@ -1,0 +1,42 @@
+"""Shared fixtures: deterministic key sets and compact engine options."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.indexes.registry import ALL_KINDS
+from repro.lsm.options import small_test_options
+
+
+@pytest.fixture(scope="session")
+def uniform_keys():
+    """20k sorted unique uniform keys over the full 63-bit space."""
+    rng = random.Random(0xC0FFEE)
+    return sorted(rng.sample(range(1, 1 << 63), 20_000))
+
+
+@pytest.fixture(scope="session")
+def clustered_keys():
+    """Sorted unique keys with heavy clustering (hard for linear models)."""
+    rng = random.Random(0xBEEF)
+    keys = set()
+    base = 1
+    for _ in range(40):
+        base += rng.randrange(1 << 40, 1 << 50)
+        for _ in range(500):
+            keys.add(base + rng.randrange(1 << 16))
+    return sorted(keys)
+
+
+@pytest.fixture(params=[kind.value for kind in ALL_KINDS])
+def index_kind(request):
+    """Parametrised over all seven index types."""
+    return request.param
+
+
+@pytest.fixture()
+def tiny_options():
+    """Small-engine options: 64-entry buffer, 128-entry SSTables."""
+    return small_test_options()

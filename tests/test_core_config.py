@@ -1,0 +1,64 @@
+"""Tests for the configuration space and bench configs."""
+
+import pytest
+
+from repro.core.config import (
+    PAPER_BOUNDARIES,
+    BenchConfig,
+    ConfigurationSpace,
+)
+from repro.errors import BenchmarkError
+from repro.indexes.registry import ALL_KINDS, IndexKind
+from repro.lsm.options import Granularity
+
+
+def test_bench_config_to_options():
+    config = BenchConfig(index_kind=IndexKind.PGM, position_boundary=64,
+                         granularity=Granularity.LEVEL,
+                         sstable_bytes=1 << 20, value_capacity=108)
+    options = config.to_options()
+    assert options.index_kind is IndexKind.PGM
+    assert options.position_boundary == 64
+    assert options.granularity is Granularity.LEVEL
+    assert options.entry_bytes == 128
+
+
+def test_label_formats():
+    config = BenchConfig(index_kind=IndexKind.RS, position_boundary=16,
+                         sstable_bytes=2 * 1024 * 1024)
+    assert config.label() == "RS/b=16/sst=2MiB"
+    level = BenchConfig(granularity=Granularity.LEVEL)
+    assert level.label().endswith("sst=L")
+
+
+def test_space_enumerates_grid():
+    space = ConfigurationSpace(index_kinds=(IndexKind.FP, IndexKind.PGM),
+                               boundaries=(8, 32),
+                               datasets=("random", "wiki"))
+    configs = space.configs()
+    assert len(configs) == len(space) == 2 * 2 * 2
+    combos = {(c.index_kind, c.position_boundary, c.dataset)
+              for c in configs}
+    assert (IndexKind.PGM, 8, "wiki") in combos
+
+
+def test_space_defaults_cover_paper_axes():
+    space = ConfigurationSpace()
+    assert len(space) == len(ALL_KINDS) * len(PAPER_BOUNDARIES)
+
+
+def test_space_rejects_empty_axes():
+    with pytest.raises(BenchmarkError):
+        ConfigurationSpace(index_kinds=())
+    with pytest.raises(BenchmarkError):
+        ConfigurationSpace(boundaries=())
+
+
+def test_space_base_params_propagate():
+    base = BenchConfig(n_keys=123, seed=9, value_capacity=44)
+    space = ConfigurationSpace(index_kinds=(IndexKind.FP,),
+                               boundaries=(8,), base=base)
+    config = space.configs()[0]
+    assert config.n_keys == 123
+    assert config.seed == 9
+    assert config.value_capacity == 44

@@ -1,0 +1,94 @@
+"""Tests for the analytic cost model, validated against measurements."""
+
+import pytest
+
+from repro.core.config import BenchConfig
+from repro.core.cost_analysis import (
+    analytic_frontier,
+    estimate_index_memory,
+    expected_io_blocks,
+    expected_io_us,
+    expected_point_lookup_us,
+    inner_index_cost_us,
+    plateau_boundary,
+)
+from repro.core.testbed import Testbed
+from repro.indexes.registry import ALL_KINDS, IndexKind
+from repro.storage.cost_model import DEFAULT_COST_MODEL
+from repro.storage.stats import Stage
+from repro.workloads.datasets import generate
+
+
+def test_io_blocks_formula():
+    # 32 entries x 128 B = 4096 B = one block + expected straddle.
+    blocks = expected_io_blocks(32, 128, 4096)
+    assert 1.0 <= blocks <= 2.0
+    assert expected_io_blocks(256, 1024, 4096) > 60
+
+
+def test_io_us_monotone_in_boundary():
+    cm = DEFAULT_COST_MODEL
+    previous = 0.0
+    for boundary in (8, 32, 128, 512):
+        cost = expected_io_us(cm, boundary, 1024)
+        assert cost >= previous
+        previous = cost
+
+
+def test_plateau_boundary():
+    assert plateau_boundary(1024, 4096) == 4
+    assert plateau_boundary(128, 4096) == 32
+    assert plateau_boundary(8192, 4096) == 2
+
+
+def test_inner_index_costs_ranked_sensibly():
+    cm = DEFAULT_COST_MODEL
+    costs = {kind: inner_index_cost_us(kind, cm, segments_hint=4096)
+             for kind in ALL_KINDS}
+    # RMI's two model evals are the cheapest structure access.
+    assert costs[IndexKind.RMI] == min(costs.values())
+    assert all(cost > 0 for cost in costs.values())
+
+
+def test_memory_estimate_extrapolates():
+    keys = generate("random", 8000, seed=1)
+    estimate = estimate_index_memory(IndexKind.PLR, keys[:2000], 16,
+                                     total_n=8000)
+    actual = estimate_index_memory(IndexKind.PLR, keys, 16, total_n=8000)
+    assert estimate.estimated_total_bytes == pytest.approx(
+        actual.sample_bytes, rel=0.5)
+
+
+def test_analytic_frontier_structure():
+    keys = generate("random", 2000, seed=2)
+    grid = analytic_frontier(DEFAULT_COST_MODEL, 1024, (64, 8),
+                             (IndexKind.FP, IndexKind.PGM), keys, 100_000)
+    assert set(grid) == {IndexKind.FP, IndexKind.PGM}
+    for per_boundary in grid.values():
+        assert per_boundary[8]["latency_us"] < per_boundary[64]["latency_us"]
+        assert per_boundary[8]["memory_bytes"] \
+            >= per_boundary[64]["memory_bytes"]
+    # FP costs more memory than PGM at the tight boundary.
+    assert grid[IndexKind.FP][8]["memory_bytes"] \
+        > grid[IndexKind.PGM][8]["memory_bytes"]
+
+
+def test_analytic_latency_matches_measurement():
+    """The Section 4 model should predict the testbed within ~2x."""
+    config = BenchConfig(index_kind=IndexKind.PLR, position_boundary=32,
+                         value_capacity=108, write_buffer_bytes=64 * 128,
+                         sstable_bytes=512 * 128, size_ratio=4, n_keys=4000)
+    bed = Testbed.from_config(config)
+    keys = bed.bulk_load_dataset("random", 4000)
+    metrics = bed.run_point_lookups(keys[::5])
+    measured = metrics.avg_us
+    inner = inner_index_cost_us(IndexKind.PLR, DEFAULT_COST_MODEL,
+                                segments_hint=64)
+    predicted = expected_point_lookup_us(
+        DEFAULT_COST_MODEL, 32, config.to_options().entry_bytes, inner,
+        levels_probed=1.2, bloom_probes=2.0)
+    bed.close()
+    assert predicted == pytest.approx(measured, rel=1.0)
+    # And the per-stage I/O estimate tracks the measured I/O stage.
+    assert expected_io_us(DEFAULT_COST_MODEL, 32, 128) == pytest.approx(
+        metrics.stage_avg_us(Stage.IO), rel=1.0)

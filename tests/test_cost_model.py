@@ -1,0 +1,86 @@
+"""Unit tests for the calibrated cost model.
+
+The paper's Table 1 anchors the constants; these tests pin the
+calibration so accidental edits show up as failures.
+"""
+
+import math
+
+import pytest
+
+from repro.storage.cost_model import DEFAULT_COST_MODEL, CostModel
+
+
+def test_blocks_spanned_basic():
+    cm = CostModel()
+    assert cm.blocks_spanned(0, 4096) == 1
+    assert cm.blocks_spanned(0, 4097) == 2
+    assert cm.blocks_spanned(4095, 2) == 2
+    assert cm.blocks_spanned(4096, 4096) == 1
+    assert cm.blocks_spanned(100, 0) == 0
+
+
+def test_read_cost_includes_seek():
+    cm = CostModel()
+    assert cm.read_us(1) == pytest.approx(cm.seek_us + cm.block_read_us)
+    assert cm.read_us(4, seeks=0) == pytest.approx(4 * cm.block_read_us)
+    assert cm.read_us(0) == pytest.approx(cm.seek_us)
+
+
+def test_table1_calibration_io():
+    """Boundary 10 with ~1 KiB entries spans 3 blocks: ~2.1 us (Table 1)."""
+    cm = DEFAULT_COST_MODEL
+    segment_bytes = 10 * 1024
+    nblocks = cm.blocks_spanned(0, segment_bytes)
+    assert nblocks == 3
+    assert cm.read_us(nblocks) == pytest.approx(2.25, abs=0.5)
+
+
+def test_table1_calibration_binary_search():
+    """log2(10) probes at entry_probe_us ~= Table 1's 0.16 us."""
+    cm = DEFAULT_COST_MODEL
+    assert cm.segment_search_us(10) == pytest.approx(0.16, abs=0.08)
+
+
+def test_binary_search_monotone_in_n():
+    cm = CostModel()
+    previous = 0.0
+    for n in (1, 2, 8, 64, 1024, 1 << 20):
+        cost = cm.binary_search_us(n)
+        assert cost >= previous
+        previous = cost
+
+
+def test_binary_search_log_shape():
+    cm = CostModel()
+    assert cm.binary_search_us(1024) == pytest.approx(
+        cm.index_compare_us * (math.log2(1024) + 1))
+
+
+def test_train_cost_linear_in_visits():
+    cm = CostModel()
+    assert cm.train_us(1000) == pytest.approx(1000 * cm.train_visit_us)
+    assert cm.train_us(0) == 0.0
+
+
+def test_model_write_includes_block_writes():
+    cm = CostModel()
+    cost_small = cm.model_write_us(100)
+    cost_big = cm.model_write_us(100 * 4096)
+    assert cost_big > cost_small
+    assert cost_small >= cm.write_us(1)
+
+
+def test_io_dominates_cpu_at_paper_shape():
+    """The Figure 7 invariant: segment I/O ~10x the CPU stages."""
+    cm = DEFAULT_COST_MODEL
+    io = cm.read_us(3)
+    cpu = cm.segment_search_us(10) + cm.model_eval_us \
+        + cm.binary_search_us(4096)
+    assert io > 4 * cpu
+
+
+def test_frozen_dataclass():
+    cm = CostModel()
+    with pytest.raises(AttributeError):
+        cm.seek_us = 10.0  # type: ignore[misc]

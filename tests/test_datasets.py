@@ -1,0 +1,86 @@
+"""Tests for the SOSD-style dataset generators."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.datasets import (
+    DATASET_NAMES,
+    KEY_SPACE,
+    cdf,
+    generate,
+    hardness_score,
+)
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_exact_count_sorted_unique(name):
+    keys = generate(name, 3000, seed=5)
+    assert len(keys) == 3000
+    assert all(isinstance(key, int) for key in keys[:10])
+    assert all(0 <= key < KEY_SPACE for key in keys[:100])
+    assert all(b > a for a, b in zip(keys, keys[1:]))
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_deterministic(name):
+    assert generate(name, 1000, seed=3) == generate(name, 1000, seed=3)
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_seed_changes_output(name):
+    assert generate(name, 1000, seed=1) != generate(name, 1000, seed=2)
+
+
+def test_unknown_dataset():
+    with pytest.raises(WorkloadError):
+        generate("mnist", 100)
+    with pytest.raises(WorkloadError):
+        generate("random", 0)
+
+
+def test_cdf_shape():
+    keys = generate("random", 2000, seed=1)
+    xs, ys = cdf(keys, points=64)
+    assert xs[0] == 0.0 and xs[-1] == 1.0
+    assert ys[0] == 0.0 and ys[-1] == 1.0
+    assert all(b >= a for a, b in zip(ys, ys[1:]))
+    assert all(b >= a for a, b in zip(xs, xs[1:]))
+
+
+def test_cdf_empty_rejected():
+    with pytest.raises(WorkloadError):
+        cdf([])
+
+
+def test_hardness_ordering():
+    scores = {name: hardness_score(generate(name, 4000, seed=2))
+              for name in DATASET_NAMES}
+    assert scores["random"] < 0.02
+    assert scores["fb"] > 0.2
+    assert scores["books"] > 0.15
+    assert scores["random"] == min(scores.values())
+
+
+def test_hardness_on_perfect_line():
+    keys = list(range(0, 100_000, 7))
+    assert hardness_score(keys) < 1e-9
+
+
+def test_segment_dataset_is_piecewise():
+    """The segment dataset must have distinct density regimes."""
+    keys = generate("segment", 5000, seed=4)
+    # Split the key space into 10 regions and count keys per region.
+    span = keys[-1] - keys[0]
+    counts = [0] * 10
+    for key in keys:
+        region = min(9, (key - keys[0]) * 10 // max(1, span))
+        counts[region] += 1
+    assert max(counts) > 3 * max(1, min(counts))
+
+
+def test_fb_dataset_heavy_tail():
+    keys = generate("fb", 5000, seed=4)
+    # Most keys in the low 10% of the observed range.
+    cutoff = keys[0] + (keys[-1] - keys[0]) // 10
+    dense = sum(1 for key in keys if key <= cutoff)
+    assert dense > 0.7 * len(keys)

@@ -1,0 +1,210 @@
+"""Integration tests for the LSMTree database."""
+
+import random
+
+import pytest
+
+from repro.errors import DatabaseClosedError, InvalidOptionError
+from repro.indexes.registry import ALL_KINDS, IndexKind
+from repro.lsm.db import LSMTree
+from repro.lsm.options import Granularity, small_test_options
+from repro.storage.stats import BLOOM_PROBES, FLUSHES, POINT_LOOKUPS, Stage
+
+
+def _fill(db, n=600, seed=1):
+    rng = random.Random(seed)
+    keys = rng.sample(range(1, 1 << 40), n)
+    reference = {}
+    for i, key in enumerate(keys):
+        value = b"v%d" % i
+        db.put(key, value)
+        reference[key] = value
+    return keys, reference
+
+
+def test_put_get_roundtrip(tiny_options):
+    db = LSMTree(tiny_options)
+    keys, reference = _fill(db)
+    for key in keys:
+        assert db.get(key) == reference[key]
+    db.close()
+
+
+def test_get_absent(tiny_options):
+    db = LSMTree(tiny_options)
+    _fill(db, n=200)
+    assert db.get(12345678901234) is None
+    db.close()
+
+
+def test_overwrite_and_delete(tiny_options):
+    db = LSMTree(tiny_options)
+    keys, reference = _fill(db, n=300)
+    for key in keys[:50]:
+        db.put(key, b"updated")
+        reference[key] = b"updated"
+    for key in keys[50:80]:
+        db.delete(key)
+        del reference[key]
+    db.flush()
+    for key in keys[:100]:
+        assert db.get(key) == reference.get(key)
+    db.close()
+
+
+def test_flush_and_compaction_triggered(tiny_options):
+    db = LSMTree(tiny_options)
+    _fill(db, n=800)
+    assert db.stats.get(FLUSHES) > 0
+    assert db.version.deepest_nonempty_level() >= 1
+    db.close()
+
+
+def test_value_too_large_rejected(tiny_options):
+    db = LSMTree(tiny_options)
+    with pytest.raises(InvalidOptionError):
+        db.put(1, b"x" * (tiny_options.value_capacity + 1))
+    db.close()
+
+
+def test_closed_database_raises(tiny_options):
+    db = LSMTree(tiny_options)
+    db.put(1, b"a")
+    db.close()
+    with pytest.raises(DatabaseClosedError):
+        db.get(1)
+    with pytest.raises(DatabaseClosedError):
+        db.put(2, b"b")
+    db.close()  # idempotent
+
+
+def test_scan_matches_reference(tiny_options):
+    db = LSMTree(tiny_options)
+    keys, reference = _fill(db, n=500)
+    ordered = sorted(reference)
+    start = ordered[100]
+    expected = [(k, reference[k]) for k in ordered[100:150]]
+    assert db.scan(start, 50) == expected
+    # Scan from before the smallest key.
+    assert db.scan(0, 10) == [(k, reference[k]) for k in ordered[:10]]
+    db.close()
+
+
+def test_iterator_full_walk(tiny_options):
+    db = LSMTree(tiny_options)
+    _, reference = _fill(db, n=400)
+    cursor = db.iterator()
+    cursor.seek_to_first()
+    assert cursor.take(10_000) == sorted(reference.items())
+    db.close()
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_all_index_kinds_serve_reads(kind):
+    db = LSMTree(small_test_options(index_kind=kind))
+    keys, reference = _fill(db, n=700, seed=3)
+    for key in keys[::7]:
+        assert db.get(key) == reference[key]
+    db.close()
+
+
+@pytest.mark.parametrize("kind", [IndexKind.FP, IndexKind.PGM, IndexKind.RMI])
+def test_level_granularity_serves_reads(kind):
+    db = LSMTree(small_test_options(index_kind=kind,
+                                    granularity=Granularity.LEVEL))
+    keys, reference = _fill(db, n=700, seed=4)
+    for key in keys[::7]:
+        assert db.get(key) == reference[key]
+    start = sorted(reference)[50]
+    expected = [(k, reference[k]) for k in sorted(reference)
+                if k >= start][:30]
+    assert db.scan(start, 30) == expected
+    assert db.index_memory_bytes() > 0
+    db.close()
+
+
+def test_stats_track_reads(tiny_options):
+    db = LSMTree(tiny_options)
+    keys, _ = _fill(db, n=300)
+    before = db.stats.get(POINT_LOOKUPS)
+    for key in keys[:20]:
+        db.get(key)
+    assert db.stats.get(POINT_LOOKUPS) - before == 20
+    assert db.stats.get(BLOOM_PROBES) > 0
+    assert db.stats.stage_time(Stage.IO) > 0
+    db.close()
+
+
+def test_memory_breakdown_components(tiny_options):
+    db = LSMTree(tiny_options)
+    _fill(db, n=500)
+    breakdown = db.memory_breakdown()
+    assert breakdown["index"] > 0
+    assert breakdown["bloom"] > 0
+    assert breakdown["buffer"] == tiny_options.write_buffer_bytes
+    assert db.level_index_memory_bytes(1) >= 0
+    db.close()
+
+
+def test_level_read_stats_accumulate(tiny_options):
+    db = LSMTree(tiny_options)
+    keys, _ = _fill(db, n=600)
+    db.reset_read_stats()
+    for key in keys[::5]:
+        db.get(key)
+    stats = db.level_read_stats()
+    assert stats
+    total_us = sum(us for us, _ in stats.values())
+    assert total_us > 0
+    db.close()
+
+
+def test_describe_levels(tiny_options):
+    db = LSMTree(tiny_options)
+    _fill(db, n=800)
+    shape = db.describe_levels()
+    assert shape
+    for row in shape:
+        assert row["entries"] > 0
+        assert row["files"] > 0
+
+
+def test_wal_recovery_restores_buffer():
+    options = small_test_options(enable_wal=True)
+    from repro.storage.block_device import MemoryBlockDevice
+    device = MemoryBlockDevice(block_size=options.block_size)
+    db = LSMTree(options, device=device)
+    db.put(10, b"ten")
+    db.put(20, b"twenty")
+    db.delete(10)
+    # Simulate a crash: reopen over the same device without flushing.
+    recovered = LSMTree(options, device=device)
+    assert recovered.get(20) == b"twenty"
+    assert recovered.get(10) is None
+    recovered.close()
+
+
+def test_wal_reset_after_flush():
+    options = small_test_options(enable_wal=True)
+    db = LSMTree(options)
+    db.put(1, b"a")
+    db.flush()
+    assert db.wal.size_bytes() == 0
+    assert db.get(1) == b"a"
+    db.close()
+
+
+def test_tombstones_dropped_at_bottom(tiny_options):
+    db = LSMTree(tiny_options)
+    keys, reference = _fill(db, n=400, seed=9)
+    for key in keys:
+        db.delete(key)
+    db.flush()
+    # Force everything down repeatedly; eventually tombstones for fully
+    # deleted ranges disappear.
+    for _ in range(3):
+        db.flush()
+        db.maybe_compact()
+    for key in keys[::11]:
+        assert db.get(key) is None
+    db.close()

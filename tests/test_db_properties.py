@@ -1,0 +1,114 @@
+"""Model-based property tests: the database vs a plain dict.
+
+Hypothesis drives arbitrary put/delete/get/scan sequences against an
+LSMTree and a reference dict; every observable behaviour must match.
+This is the single strongest correctness net over the whole engine
+(memtable, flush, compaction, indexes, iterators, tombstones).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.indexes.registry import IndexKind
+from repro.lsm.db import LSMTree
+from repro.lsm.options import Granularity, small_test_options
+
+keys_st = st.integers(min_value=0, max_value=1 << 20)
+
+ops_st = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), keys_st, st.binary(min_size=0, max_size=8)),
+        st.tuples(st.just("delete"), keys_st, st.just(b"")),
+        st.tuples(st.just("get"), keys_st, st.just(b"")),
+        st.tuples(st.just("scan"), keys_st, st.just(b"")),
+    ),
+    max_size=150,
+)
+
+
+def _run_model(ops, options):
+    db = LSMTree(options)
+    reference = {}
+    try:
+        for op, key, value in ops:
+            if op == "put":
+                db.put(key, value)
+                reference[key] = value
+            elif op == "delete":
+                db.delete(key)
+                reference.pop(key, None)
+            elif op == "get":
+                assert db.get(key) == reference.get(key)
+            else:  # scan
+                expected = sorted((k, v) for k, v in reference.items()
+                                  if k >= key)[:10]
+                assert db.scan(key, 10) == expected
+        # Final full verification after settling all structures.
+        db.flush()
+        db.maybe_compact()
+        for key, value in reference.items():
+            assert db.get(key) == value
+        cursor = db.iterator()
+        cursor.seek_to_first()
+        assert cursor.take(10_000) == sorted(reference.items())
+    finally:
+        db.close()
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=ops_st)
+def test_model_based_fp(ops):
+    _run_model(ops, small_test_options(index_kind=IndexKind.FP,
+                                       value_capacity=8))
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=ops_st)
+def test_model_based_pgm(ops):
+    _run_model(ops, small_test_options(index_kind=IndexKind.PGM,
+                                       value_capacity=8))
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=ops_st)
+def test_model_based_rmi(ops):
+    _run_model(ops, small_test_options(index_kind=IndexKind.RMI,
+                                       value_capacity=8))
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=ops_st)
+def test_model_based_level_granularity(ops):
+    _run_model(ops, small_test_options(index_kind=IndexKind.PLR,
+                                       value_capacity=8,
+                                       granularity=Granularity.LEVEL))
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=ops_st, kind=st.sampled_from([IndexKind.FT, IndexKind.RS,
+                                         IndexKind.PLEX]))
+def test_model_based_other_kinds(ops, kind):
+    _run_model(ops, small_test_options(index_kind=kind, value_capacity=8))
+
+
+@pytest.mark.parametrize("kind", [IndexKind.PGM, IndexKind.FP])
+def test_heavy_overwrite_churn(kind):
+    """Many versions of few keys: compaction must keep only the newest."""
+    db = LSMTree(small_test_options(index_kind=kind, value_capacity=8))
+    reference = {}
+    for round_no in range(40):
+        for key in range(30):
+            value = b"r%dk%d" % (round_no, key)
+            db.put(key, value[:8])
+            reference[key] = value[:8]
+    db.flush()
+    db.maybe_compact()
+    for key, value in reference.items():
+        assert db.get(key) == value
+    db.close()

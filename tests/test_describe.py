@@ -1,0 +1,43 @@
+"""Tests for index introspection (describe())."""
+
+import pytest
+
+from repro.indexes.registry import ALL_KINDS, IndexFactory, IndexKind
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_describe_base_fields(kind, uniform_keys):
+    keys = uniform_keys[:3000]
+    index = IndexFactory(kind, 32).build(keys)
+    info = index.describe()
+    assert info["kind"] == kind.value
+    assert info["n"] == len(keys)
+    assert info["size_bytes"] == index.size_bytes()
+    assert info["boundary"] == 32
+    assert info["train_key_visits"] >= 1
+
+
+def test_describe_specific_fields(uniform_keys):
+    keys = uniform_keys[:3000]
+    cases = {
+        IndexKind.FP: "pointers",
+        IndexKind.PLR: "segments",
+        IndexKind.FT: "tree_height",
+        IndexKind.PGM: "levels",
+        IndexKind.RS: "spline_points",
+        IndexKind.PLEX: "cht_bits",
+        IndexKind.RMI: "leaves",
+    }
+    for kind, field in cases.items():
+        info = IndexFactory(kind, 16).build(keys).describe()
+        assert field in info, f"{kind.value} missing {field}"
+
+
+def test_describe_tracks_precision(uniform_keys):
+    keys = uniform_keys[:4000]
+    loose = IndexFactory(IndexKind.PLR, 128).build(keys).describe()
+    tight = IndexFactory(IndexKind.PLR, 8).build(keys).describe()
+    assert tight["segments"] > loose["segments"]
+    pgm = IndexFactory(IndexKind.PGM, 8).build(keys).describe()
+    assert pgm["levels"][0] >= pgm["levels"][-1]
+    assert pgm["levels"][-1] == 1  # single root

@@ -1,0 +1,114 @@
+"""Tests for the YCSB request distributions."""
+
+import math
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.distributions import (
+    HotspotPicker,
+    LatestPicker,
+    ScrambledZipfianPicker,
+    UniformPicker,
+    ZipfianPicker,
+    fnv1a_64,
+    make_picker,
+)
+
+
+def _frequencies(picker, n=20_000):
+    counts = {}
+    for _ in range(n):
+        idx = picker.pick()
+        assert 0 <= idx < picker.count
+        counts[idx] = counts.get(idx, 0) + 1
+    return counts
+
+
+def test_uniform_coverage():
+    counts = _frequencies(UniformPicker(100, seed=1))
+    assert len(counts) == 100
+    expected = 200
+    assert all(abs(c - expected) < expected for c in counts.values())
+
+
+def test_zipfian_skews_to_low_ranks():
+    counts = _frequencies(ZipfianPicker(1000, seed=2))
+    top = sum(counts.get(i, 0) for i in range(10))
+    assert top > 0.3 * sum(counts.values())
+    # Rank 0 is the most popular.
+    assert counts[0] == max(counts.values())
+
+
+def test_scrambled_zipfian_spreads_hotspots():
+    counts = _frequencies(ScrambledZipfianPicker(1000, seed=3))
+    hottest = max(counts, key=counts.get)
+    # The hottest item should (almost surely) not be rank 0 once
+    # scrambled across the space.
+    assert hottest == fnv1a_64(0) % 1000
+
+
+def test_latest_favours_recent():
+    picker = LatestPicker(1000, seed=4)
+    counts = _frequencies(picker)
+    recent = sum(counts.get(i, 0) for i in range(990, 1000))
+    old = sum(counts.get(i, 0) for i in range(10))
+    assert recent > 10 * max(1, old)
+
+
+def test_latest_tracks_growth():
+    picker = LatestPicker(100, seed=5)
+    picker.grow(200)
+    counts = _frequencies(picker, n=5_000)
+    assert max(counts) >= 190  # newest items reachable
+
+
+def test_hotspot_concentration():
+    picker = HotspotPicker(1000, seed=6, hot_fraction=0.1,
+                           hot_op_fraction=0.9)
+    counts = _frequencies(picker)
+    hot = sum(counts.get(i, 0) for i in range(100))
+    assert hot > 0.8 * sum(counts.values())
+
+
+def test_zipfian_grow_extends_zeta():
+    picker = ZipfianPicker(100, seed=7)
+    zeta_before = picker._zeta
+    picker.grow(200)
+    assert picker._zeta > zeta_before
+    assert picker._zeta == pytest.approx(
+        sum(1.0 / (i ** 0.99) for i in range(1, 201)), rel=1e-9)
+    with pytest.raises(WorkloadError):
+        picker.grow(50)
+
+
+def test_make_picker_by_name():
+    assert isinstance(make_picker("uniform", 10), UniformPicker)
+    assert isinstance(make_picker("zipfian", 10), ScrambledZipfianPicker)
+    assert isinstance(make_picker("latest", 10), LatestPicker)
+    assert isinstance(make_picker("hotspot", 10), HotspotPicker)
+    with pytest.raises(WorkloadError):
+        make_picker("gaussian", 10)
+
+
+def test_determinism():
+    a = [ZipfianPicker(500, seed=9).pick() for _ in range(50)]
+    b = [ZipfianPicker(500, seed=9).pick() for _ in range(50)]
+    assert a == b
+
+
+def test_invalid_parameters():
+    with pytest.raises(WorkloadError):
+        UniformPicker(0)
+    with pytest.raises(WorkloadError):
+        ZipfianPicker(10, theta=1.5)
+    with pytest.raises(WorkloadError):
+        HotspotPicker(10, hot_fraction=0.0)
+    with pytest.raises(WorkloadError):
+        HotspotPicker(10, hot_op_fraction=1.5)
+
+
+def test_fnv_hash_is_stable():
+    assert fnv1a_64(0) == fnv1a_64(0)
+    assert fnv1a_64(1) != fnv1a_64(2)
+    assert 0 <= fnv1a_64(12345) < (1 << 64)

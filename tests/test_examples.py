@@ -1,0 +1,28 @@
+"""Smoke tests: every shipped example must run cleanly."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES = [
+    "quickstart.py",
+    "compare_indexes.py",
+    "tune_for_budget.py",
+    "ycsb_benchmark.py",
+    "per_level_boundaries.py",
+    "trace_replay.py",
+]
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.mark.parametrize("script", _EXAMPLES)
+def test_example_runs(script):
+    path = os.path.join(_ROOT, "examples", script)
+    assert os.path.exists(path), f"missing example {script}"
+    proc = subprocess.run([sys.executable, path], capture_output=True,
+                          text=True, timeout=600)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), f"{script} produced no output"

@@ -1,0 +1,107 @@
+"""Cross-index property tests: the Section 4 interface contract.
+
+Every clustered index must satisfy, for any strictly-increasing key
+array and any configured boundary:
+
+1. containment — ``lookup(k)`` brackets the true position of every
+   member key;
+2. bounded width — the returned range respects the configured position
+   boundary (with the +2 integer-rounding slack);
+3. serialisation — ``deserialize(serialize())`` answers identically;
+4. clamping — bounds always fall inside ``[0, n)``.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IndexBuildError, IndexLookupError
+from repro.indexes.registry import (
+    ALL_KINDS,
+    IndexFactory,
+    IndexKind,
+    deserialize_index,
+)
+
+sorted_keys = st.lists(
+    st.integers(min_value=0, max_value=(1 << 62)),
+    min_size=2, max_size=300, unique=True).map(sorted)
+
+boundaries = st.sampled_from([4, 8, 32, 128])
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+@settings(max_examples=25, deadline=None)
+@given(keys=sorted_keys, boundary=boundaries)
+def test_containment_and_width(kind, keys, boundary):
+    index = IndexFactory(kind, boundary).build(keys)
+    slack = boundary + 2
+    for step in range(0, len(keys), max(1, len(keys) // 40)):
+        bound = index.lookup(keys[step])
+        assert 0 <= bound.lo <= step < bound.hi <= len(keys)
+        if kind is not IndexKind.RMI:
+            # RMI's boundary is a tuning target, not a hard bound.
+            assert bound.width <= slack
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+@settings(max_examples=15, deadline=None)
+@given(keys=sorted_keys, boundary=boundaries)
+def test_serialization_equivalence(kind, keys, boundary):
+    index = IndexFactory(kind, boundary).build(keys)
+    clone = deserialize_index(index.serialize())
+    assert clone.kind == index.kind
+    assert clone.n == index.n
+    probes = keys[:: max(1, len(keys) // 20)] + [keys[0] - 1, keys[-1] + 1]
+    for probe in probes:
+        assert clone.lookup(probe) == index.lookup(probe)
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+@settings(max_examples=15, deadline=None)
+@given(keys=sorted_keys, boundary=boundaries)
+def test_absent_key_bounds_clamped(kind, keys, boundary):
+    index = IndexFactory(kind, boundary).build(keys)
+    for probe in (0, keys[0] - 1 if keys[0] else 0, keys[-1] + 1, 1 << 63):
+        bound = index.lookup(probe)
+        assert 0 <= bound.lo <= bound.hi <= len(keys)
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_lookup_before_build_raises(kind):
+    index = IndexFactory(kind, 16).create()
+    with pytest.raises(IndexLookupError):
+        index.lookup(1)
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_empty_build_raises(kind):
+    index = IndexFactory(kind, 16).create()
+    with pytest.raises(IndexBuildError):
+        index.build([])
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_size_and_cost_reported(kind, uniform_keys):
+    keys = uniform_keys[:4000]
+    index = IndexFactory(kind, 32).build(keys)
+    assert index.size_bytes() == len(index.serialize())
+    assert index.size_bytes() > 0
+    assert index.train_key_visits >= len(keys) // 32  # FP visits per block
+    from repro.storage.cost_model import DEFAULT_COST_MODEL
+    assert index.expected_lookup_cost_us(DEFAULT_COST_MODEL) > 0.0
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_insertion_point_for_absent_keys_between_members(kind, uniform_keys):
+    """For seeks: absent keys inside a segment bracket their neighbours."""
+    keys = uniform_keys[:2000]
+    index = IndexFactory(kind, 32).build(keys)
+    for i in range(50, 1950, 97):
+        probe = keys[i] + 1  # between keys[i] and keys[i+1]
+        if probe == keys[i + 1]:
+            continue
+        bound = index.lookup(probe)
+        # The bound must allow finding the successor position i+1 by
+        # scanning forward from bound.lo.
+        assert bound.lo <= i + 1

@@ -1,0 +1,130 @@
+"""Tests for merging iterators and user-visible version collapsing."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsm.iterators import DBIterator, ListIterator, MergingIterator
+from repro.lsm.record import make_tombstone, make_value
+
+
+def _list_iter(records):
+    return ListIterator(sorted(records, key=lambda r: (r.key, -r.seq)))
+
+
+def test_list_iterator_seek():
+    it = _list_iter([make_value(k, 1, b"") for k in (10, 20, 30)])
+    it.seek(15)
+    assert it.key() == 20
+    it.seek(30)
+    assert it.key() == 30
+    it.seek(31)
+    assert not it.valid()
+    it.seek_to_first()
+    assert it.key() == 10
+
+
+def test_merging_iterator_interleaves_sorted():
+    a = _list_iter([make_value(k, 1, b"a") for k in (1, 4, 7)])
+    b = _list_iter([make_value(k, 2, b"b") for k in (2, 4, 8)])
+    merged = MergingIterator([a, b])
+    merged.seek_to_first()
+    out = [(r.key, r.seq) for r in merged.drain()]
+    assert out == [(1, 1), (2, 2), (4, 2), (4, 1), (7, 1), (8, 2)]
+
+
+def test_merging_iterator_newest_first_within_key():
+    old = _list_iter([make_value(5, 1, b"old")])
+    new = _list_iter([make_value(5, 9, b"new")])
+    merged = MergingIterator([old, new])
+    merged.seek_to_first()
+    assert merged.record().value == b"new"
+    merged.advance()
+    assert merged.record().value == b"old"
+
+
+def test_merging_iterator_seek():
+    a = _list_iter([make_value(k, 1, b"") for k in range(0, 100, 10)])
+    b = _list_iter([make_value(k, 2, b"") for k in range(5, 100, 10)])
+    merged = MergingIterator([a, b])
+    merged.seek(42)
+    assert merged.key() == 45
+
+
+def test_db_iterator_hides_tombstones():
+    records = [make_value(1, 1, b"a"), make_tombstone(2, 5),
+               make_value(2, 3, b"dead"), make_value(3, 2, b"c")]
+    cursor = DBIterator(_list_iter(records))
+    cursor.seek_to_first()
+    assert cursor.take(10) == [(1, b"a"), (3, b"c")]
+
+
+def test_db_iterator_takes_newest_version():
+    records = [make_value(7, 9, b"new"), make_value(7, 2, b"old")]
+    cursor = DBIterator(_list_iter(records))
+    cursor.seek_to_first()
+    assert cursor.take(10) == [(7, b"new")]
+
+
+def test_db_iterator_resurrected_key():
+    """Delete then re-insert: the newest value wins."""
+    records = [make_value(4, 10, b"back"), make_tombstone(4, 6),
+               make_value(4, 2, b"orig")]
+    cursor = DBIterator(_list_iter(records))
+    cursor.seek_to_first()
+    assert cursor.take(10) == [(4, b"back")]
+
+
+def test_db_iterator_seek_lands_on_live_key():
+    records = [make_value(1, 1, b"a"), make_tombstone(5, 2),
+               make_value(9, 3, b"c")]
+    cursor = DBIterator(_list_iter(records))
+    cursor.seek(2)
+    assert cursor.key() == 9
+
+
+def test_db_iterator_take_limit():
+    records = [make_value(k, 1, b"") for k in range(50)]
+    cursor = DBIterator(_list_iter(records))
+    cursor.seek_to_first()
+    assert len(cursor.take(7)) == 7
+    assert cursor.key() == 7  # cursor advanced past the taken entries
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.lists(st.integers(min_value=0, max_value=200),
+                         max_size=50), min_size=1, max_size=5))
+def test_property_merge_equals_sorted_union(sources):
+    iterators = []
+    seq = 0
+    everything = []
+    for source in sources:
+        records = []
+        for key in sorted(set(source)):
+            seq += 1
+            record = make_value(key, seq, b"%d" % seq)
+            records.append(record)
+            everything.append(record)
+        iterators.append(_list_iter(records))
+    merged = MergingIterator(iterators)
+    merged.seek_to_first()
+    out = [(r.key, r.seq) for r in merged.drain()]
+    assert out == sorted(((r.key, r.seq) for r in everything),
+                         key=lambda pair: (pair[0], -pair[1]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.dictionaries(st.integers(min_value=0, max_value=100),
+                       st.integers(min_value=1, max_value=3),
+                       min_size=1, max_size=40))
+def test_property_db_iterator_newest_wins(key_versions):
+    seq = 0
+    records = []
+    expected = {}
+    for key, versions in key_versions.items():
+        for _ in range(versions):
+            seq += 1
+            records.append(make_value(key, seq, b"s%d" % seq))
+            expected[key] = b"s%d" % seq
+    cursor = DBIterator(_list_iter(records))
+    cursor.seek_to_first()
+    assert cursor.take(1000) == sorted(expected.items())

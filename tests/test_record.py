@@ -1,0 +1,97 @@
+"""Unit + property tests for the fixed-size record codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CorruptionError, InvalidOptionError
+from repro.lsm.record import (
+    KIND_TOMBSTONE,
+    KIND_VALUE,
+    Record,
+    compare_versions,
+    decode_entry,
+    decode_key,
+    encode_entry,
+    entry_size,
+    make_tombstone,
+    make_value,
+    split_meta,
+)
+
+
+def test_entry_size():
+    assert entry_size(0) == 20
+    assert entry_size(1004) == 1024
+
+
+def test_roundtrip_value_record():
+    record = make_value(42, 7, b"hello")
+    blob = encode_entry(record, 16)
+    assert len(blob) == entry_size(16)
+    out = decode_entry(blob, 0, 16)
+    assert out == record
+    assert decode_key(blob, 0) == 42
+
+
+def test_roundtrip_tombstone():
+    record = make_tombstone(99, 3)
+    blob = encode_entry(record, 8)
+    out = decode_entry(blob, 0, 8)
+    assert out.is_tombstone
+    assert out.key == 99
+    assert out.seq == 3
+    assert out.value == b""
+
+
+def test_offset_decoding():
+    blob = (encode_entry(make_value(1, 1, b"a"), 4)
+            + encode_entry(make_value(2, 2, b"bb"), 4))
+    assert decode_entry(blob, entry_size(4), 4).key == 2
+    assert decode_key(blob, entry_size(4)) == 2
+
+
+def test_oversized_value_rejected():
+    with pytest.raises(InvalidOptionError):
+        encode_entry(make_value(1, 1, b"too long"), 4)
+
+
+def test_bad_key_rejected():
+    with pytest.raises(InvalidOptionError):
+        encode_entry(Record(-1, 1, KIND_VALUE, b""), 4)
+    with pytest.raises(InvalidOptionError):
+        encode_entry(Record(1 << 65, 1, KIND_VALUE, b""), 4)
+
+
+def test_truncated_buffer_raises():
+    blob = encode_entry(make_value(1, 1, b"abc"), 8)
+    with pytest.raises(CorruptionError):
+        decode_entry(blob[:-10], 0, 8)
+    with pytest.raises(CorruptionError):
+        decode_key(b"short", 0)
+
+
+def test_version_ordering():
+    newer = make_value(5, 10, b"x")
+    older = make_value(5, 3, b"y")
+    assert compare_versions(newer, older) < 0  # newest first
+    assert compare_versions(older, newer) > 0
+    assert compare_versions(newer, newer) == 0
+    assert compare_versions(make_value(1, 1, b""), make_value(2, 9, b"")) < 0
+    assert newer.newer_than(older)
+
+
+def test_split_meta():
+    assert split_meta((7 << 8) | KIND_TOMBSTONE) == (7, KIND_TOMBSTONE)
+
+
+@settings(max_examples=60, deadline=None)
+@given(key=st.integers(min_value=0, max_value=(1 << 64) - 1),
+       seq=st.integers(min_value=0, max_value=(1 << 56) - 1),
+       kind=st.sampled_from([KIND_VALUE, KIND_TOMBSTONE]),
+       value=st.binary(max_size=32))
+def test_property_roundtrip(key, seq, kind, value):
+    record = Record(key, seq, kind, value if kind == KIND_VALUE else b"")
+    blob = encode_entry(record, 32)
+    assert len(blob) == entry_size(32)
+    assert decode_entry(blob, 0, 32) == record

@@ -1,0 +1,129 @@
+"""Property tests for the three segmentation algorithms.
+
+The central invariant of the whole system: every segmentation keeps
+each key's prediction within epsilon of its true position.  PGM's
+optimality relative to the greedy corridor is also asserted.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.indexes.radix_spline import interpolate
+from repro.indexes.segmentation import (
+    greedy_corridor_segments,
+    greedy_spline_points,
+    optimal_pla_segments,
+    verify_segments,
+)
+
+sorted_keys = st.lists(
+    st.integers(min_value=0, max_value=(1 << 62)),
+    min_size=1, max_size=400, unique=True).map(sorted)
+
+epsilons = st.sampled_from([1, 2, 4, 16, 64])
+
+
+@settings(max_examples=60, deadline=None)
+@given(sorted_keys, epsilons)
+def test_greedy_error_bound(keys, epsilon):
+    segments, visits = greedy_corridor_segments(keys, epsilon)
+    assert visits == len(keys)
+    assert verify_segments(keys, segments, epsilon) <= epsilon + 1e-6
+
+
+@settings(max_examples=60, deadline=None)
+@given(sorted_keys, epsilons)
+def test_optimal_error_bound(keys, epsilon):
+    segments, visits = optimal_pla_segments(keys, epsilon)
+    assert visits == len(keys)
+    assert verify_segments(keys, segments, epsilon) <= epsilon + 1e-6
+
+
+@settings(max_examples=60, deadline=None)
+@given(sorted_keys, epsilons)
+def test_optimal_never_more_segments_than_greedy(keys, epsilon):
+    greedy, _ = greedy_corridor_segments(keys, epsilon)
+    optimal, _ = optimal_pla_segments(keys, epsilon)
+    assert len(optimal) <= len(greedy)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sorted_keys, epsilons)
+def test_segments_partition_the_array(keys, epsilon):
+    for algorithm in (greedy_corridor_segments, optimal_pla_segments):
+        segments, _ = algorithm(keys, epsilon)
+        position = 0
+        for segment in segments:
+            assert segment.start == position
+            assert segment.first_key == keys[position]
+            position += segment.length
+        assert position == len(keys)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sorted_keys, epsilons)
+def test_spline_interpolation_error_bound(keys, epsilon):
+    points, visits = greedy_spline_points(keys, epsilon)
+    assert visits == len(keys)
+    assert points[0] == (keys[0], 0)
+    if len(keys) == 1:
+        assert points == [(keys[0], 0)]
+        return
+    assert points[-1] == (keys[-1], len(keys) - 1)
+    spline_keys = [key for key, _ in points]
+    assert spline_keys == sorted(set(spline_keys))
+    # Every key interpolates within epsilon.
+    seg = 0
+    for pos, key in enumerate(keys):
+        while points[seg + 1][0] < key:
+            seg += 1
+        x0, y0 = points[seg]
+        x1, y1 = points[seg + 1]
+        predicted = interpolate(x0, y0, x1, y1, key)
+        assert abs(predicted - pos) <= epsilon + 1e-6
+
+
+def test_single_key():
+    for algorithm in (greedy_corridor_segments, optimal_pla_segments):
+        segments, _ = algorithm([42], 4)
+        assert len(segments) == 1
+        assert segments[0].predict(42) == pytest.approx(0.0)
+    points, _ = greedy_spline_points([42], 4)
+    assert points == [(42, 0)]
+
+
+def test_collinear_keys_make_one_segment():
+    keys = list(range(1000, 2000, 5))
+    for algorithm in (greedy_corridor_segments, optimal_pla_segments):
+        segments, _ = algorithm(keys, 1)
+        assert len(segments) == 1
+    points, _ = greedy_spline_points(keys, 1)
+    assert len(points) == 2
+
+
+def test_optimal_strictly_better_on_drifting_data():
+    """A slope that drifts slowly defeats the anchored greedy corridor."""
+    rng = random.Random(11)
+    keys = []
+    key = 0
+    step = 10
+    for i in range(4000):
+        if i % 200 == 0:
+            step += 3
+        key += step + rng.randrange(0, 3)
+        keys.append(key)
+    greedy, _ = greedy_corridor_segments(keys, 8)
+    optimal, _ = optimal_pla_segments(keys, 8)
+    assert len(optimal) < len(greedy)
+
+
+def test_huge_keyspace_numerics():
+    rng = random.Random(5)
+    keys = sorted(rng.sample(range(1 << 60, 1 << 63), 5000))
+    for algorithm, eps in ((greedy_corridor_segments, 8),
+                           (optimal_pla_segments, 8)):
+        segments, _ = algorithm(keys, eps)
+        assert verify_segments(keys, segments, eps) <= eps + 1e-3

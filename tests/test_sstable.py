@@ -1,0 +1,180 @@
+"""Tests for the LearnedIndexTable format: builder, reader, iterator."""
+
+import pytest
+
+from repro.errors import CorruptionError
+from repro.indexes.registry import IndexFactory, IndexKind
+from repro.lsm.options import small_test_options
+from repro.lsm.record import make_value
+from repro.lsm.sstable import FOOTER_BYTES, Table, TableBuilder, TableFooter
+from repro.storage.block_device import MemoryBlockDevice
+from repro.storage.cost_model import CostModel
+from repro.storage.stats import SEGMENTS_FETCHED, Stage, Stats
+
+
+def _build(keys, kind=IndexKind.PGM, boundary=8, options=None):
+    options = options or small_test_options(index_kind=kind,
+                                            position_boundary=boundary)
+    stats = Stats()
+    device = MemoryBlockDevice(block_size=options.block_size, stats=stats)
+    cost = CostModel(block_size=options.block_size)
+    builder = TableBuilder(device, "t1", options,
+                           IndexFactory(kind, boundary), stats, cost)
+    for i, key in enumerate(keys):
+        builder.add(make_value(key, i + 1, b"v%d" % key))
+    return builder.finish(), device, stats, options, cost
+
+
+@pytest.fixture()
+def sample_keys():
+    return list(range(1000, 9000, 13))
+
+
+def test_build_and_get(sample_keys):
+    table, _, _, _, _ = _build(sample_keys)
+    for key in sample_keys[::37]:
+        record = table.get(key)
+        assert record is not None
+        assert record.value == b"v%d" % key
+    assert table.get(sample_keys[0] + 1) is None
+    assert table.entry_count == len(sample_keys)
+    assert table.min_key == sample_keys[0]
+    assert table.max_key == sample_keys[-1]
+
+
+def test_builder_rejects_out_of_order(sample_keys):
+    options = small_test_options()
+    stats = Stats()
+    device = MemoryBlockDevice(block_size=options.block_size, stats=stats)
+    builder = TableBuilder(device, "t", options, None, stats,
+                           CostModel(block_size=options.block_size))
+    builder.add(make_value(10, 1, b"a"))
+    with pytest.raises(CorruptionError):
+        builder.add(make_value(10, 2, b"b"))
+    with pytest.raises(CorruptionError):
+        builder.add(make_value(5, 3, b"c"))
+
+
+def test_builder_rejects_empty_finish():
+    options = small_test_options()
+    stats = Stats()
+    device = MemoryBlockDevice(block_size=options.block_size, stats=stats)
+    builder = TableBuilder(device, "t", options, None, stats,
+                           CostModel(block_size=options.block_size))
+    with pytest.raises(CorruptionError):
+        builder.finish()
+
+
+def test_reopen_from_device(sample_keys):
+    table, device, stats, options, cost = _build(sample_keys)
+    reopened = Table.open(device, "t1", options, stats, cost)
+    assert reopened.entry_count == table.entry_count
+    for key in sample_keys[::53]:
+        assert reopened.get(key).value == b"v%d" % key
+    assert reopened.index_bytes() == table.index_bytes()
+
+
+def test_footer_roundtrip():
+    footer = TableFooter(entry_count=10, entry_bytes=64, value_capacity=44,
+                         index_offset=640, index_len=100, bloom_offset=740,
+                         bloom_len=20, min_key=1, max_key=99)
+    assert TableFooter.unpack(footer.pack()) == footer
+    assert len(footer.pack()) == FOOTER_BYTES
+
+
+def test_footer_rejects_bad_magic():
+    footer = TableFooter(1, 64, 44, 0, 0, 0, 0, 0, 0)
+    data = bytearray(footer.pack())
+    data[0] ^= 0xFF
+    with pytest.raises(CorruptionError):
+        TableFooter.unpack(bytes(data))
+
+
+def test_get_charges_stages(sample_keys):
+    table, _, stats, _, _ = _build(sample_keys)
+    before = stats.snapshot()
+    table.get(sample_keys[5])
+    delta = before.delta(stats)
+    assert delta.stage_time(Stage.PREDICTION) > 0
+    assert delta.stage_time(Stage.IO) > 0
+    assert delta.stage_time(Stage.SEARCH) > 0
+    assert delta.counter(SEGMENTS_FETCHED) == 1
+
+
+def test_smaller_boundary_fetches_fewer_blocks(sample_keys):
+    from repro.storage.stats import BLOCKS_READ
+    results = {}
+    for boundary in (64, 8):
+        table, _, stats, _, _ = _build(sample_keys, boundary=boundary)
+        before = stats.get(BLOCKS_READ)
+        for key in sample_keys[::17]:
+            table.get(key)
+        results[boundary] = stats.get(BLOCKS_READ) - before
+    assert results[8] < results[64]
+
+
+def test_iterator_full_scan(sample_keys):
+    table, _, _, _, _ = _build(sample_keys)
+    it = table.iterator()
+    it.seek_to_first()
+    out = [record.key for record in it.drain()]
+    assert out == sample_keys
+
+
+def test_iterator_seek_exact_and_between(sample_keys):
+    table, _, _, _, _ = _build(sample_keys)
+    it = table.iterator()
+    it.seek(sample_keys[100])
+    assert it.key() == sample_keys[100]
+    it = table.iterator()
+    it.seek(sample_keys[100] + 1)  # between two keys
+    assert it.key() == sample_keys[101]
+    it = table.iterator()
+    it.seek(sample_keys[-1] + 10)
+    assert not it.valid()
+
+
+def test_iterator_seek_before_first(sample_keys):
+    table, _, _, _, _ = _build(sample_keys)
+    it = table.iterator()
+    it.seek(0)
+    assert it.key() == sample_keys[0]
+
+
+def test_iterator_across_all_kinds(sample_keys):
+    for kind in (IndexKind.FP, IndexKind.PLR, IndexKind.RMI, IndexKind.PLEX):
+        table, _, _, _, _ = _build(sample_keys, kind=kind)
+        it = table.iterator()
+        it.seek(sample_keys[200])
+        got = []
+        while it.valid() and len(got) < 20:
+            got.append(it.key())
+            it.advance()
+        assert got == sample_keys[200:220]
+
+
+def test_level_granularity_table_has_no_index(sample_keys):
+    options = small_test_options()
+    stats = Stats()
+    device = MemoryBlockDevice(block_size=options.block_size, stats=stats)
+    cost = CostModel(block_size=options.block_size)
+    builder = TableBuilder(device, "t", options, None, stats, cost)
+    for i, key in enumerate(sample_keys):
+        builder.add(make_value(key, i + 1, b"x"))
+    table = builder.finish()
+    assert table.index is None
+    assert table.index_bytes() == 0
+    with pytest.raises(CorruptionError):
+        table.get(sample_keys[0])
+    # get_in_bound still works when the bound comes from a level model.
+    from repro.indexes.base import SearchBound
+    record = table.get_in_bound(sample_keys[3], SearchBound(0, 10))
+    assert record.key == sample_keys[3]
+
+
+def test_training_stats_recorded(sample_keys):
+    table, _, stats, _, _ = _build(sample_keys, kind=IndexKind.PLEX)
+    from repro.storage.stats import TRAIN_KEY_VISITS
+    assert stats.get(TRAIN_KEY_VISITS) >= len(sample_keys)
+    assert stats.stage_time(Stage.COMPACT_TRAIN) > 0
+    assert stats.stage_time(Stage.COMPACT_WRITE_MODEL) > 0

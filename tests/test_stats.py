@@ -1,0 +1,110 @@
+"""Unit tests for the stats registry (counters, stages, snapshots)."""
+
+import pytest
+
+from repro.storage.stats import (
+    BLOCKS_READ,
+    COMPACTION_STAGES,
+    READ_STAGES,
+    Stage,
+    Stats,
+)
+
+
+def test_counters_accumulate():
+    stats = Stats()
+    stats.add(BLOCKS_READ)
+    stats.add(BLOCKS_READ, 4)
+    assert stats.get(BLOCKS_READ) == 5
+    assert stats.get("never.touched") == 0.0
+
+
+def test_stage_charging_and_totals():
+    stats = Stats()
+    stats.charge(Stage.IO, 2.0)
+    stats.charge(Stage.IO, 1.5)
+    stats.charge(Stage.PREDICTION, 0.25)
+    assert stats.stage_time(Stage.IO) == pytest.approx(3.5)
+    assert stats.total_time() == pytest.approx(3.75)
+
+
+def test_negative_charge_rejected():
+    stats = Stats()
+    with pytest.raises(ValueError):
+        stats.charge(Stage.IO, -1.0)
+
+
+def test_read_time_covers_only_read_stages():
+    stats = Stats()
+    for stage in READ_STAGES:
+        stats.charge(stage, 1.0)
+    stats.charge(Stage.COMPACT_WRITE, 100.0)
+    assert stats.read_time() == pytest.approx(len(READ_STAGES))
+
+
+def test_compaction_time_covers_only_compaction_stages():
+    stats = Stats()
+    for stage in COMPACTION_STAGES:
+        stats.charge(stage, 2.0)
+    stats.charge(Stage.IO, 50.0)
+    assert stats.compaction_time() == pytest.approx(2.0 * len(COMPACTION_STAGES))
+
+
+def test_snapshot_delta_isolates_window():
+    stats = Stats()
+    stats.add(BLOCKS_READ, 10)
+    stats.charge(Stage.IO, 5.0)
+    snap = stats.snapshot()
+    stats.add(BLOCKS_READ, 3)
+    stats.charge(Stage.IO, 1.25)
+    stats.charge(Stage.SEARCH, 0.5)
+    delta = snap.delta(stats)
+    assert delta.counter(BLOCKS_READ) == 3
+    assert delta.stage_time(Stage.IO) == pytest.approx(1.25)
+    assert delta.stage_time(Stage.SEARCH) == pytest.approx(0.5)
+    assert delta.total_time() == pytest.approx(1.75)
+    assert delta.read_time() == pytest.approx(1.75)
+
+
+def test_snapshot_delta_skips_unchanged_entries():
+    stats = Stats()
+    stats.add(BLOCKS_READ, 10)
+    snap = stats.snapshot()
+    delta = snap.delta(stats)
+    assert delta.counters == {}
+    assert delta.stage_us == {}
+
+
+def test_merge_folds_other_registry():
+    a = Stats()
+    b = Stats()
+    a.add(BLOCKS_READ, 1)
+    b.add(BLOCKS_READ, 2)
+    b.charge(Stage.SCAN, 4.0)
+    a.merge(b)
+    assert a.get(BLOCKS_READ) == 3
+    assert a.stage_time(Stage.SCAN) == pytest.approx(4.0)
+
+
+def test_reset_clears_everything():
+    stats = Stats()
+    stats.add(BLOCKS_READ, 9)
+    stats.charge(Stage.IO, 1.0)
+    stats.reset()
+    assert stats.total_time() == 0.0
+    assert stats.get(BLOCKS_READ) == 0.0
+
+
+def test_breakdown_is_sorted_by_stage_name():
+    stats = Stats()
+    stats.charge(Stage.SEARCH, 1.0)
+    stats.charge(Stage.IO, 2.0)
+    keys = list(stats.breakdown().keys())
+    assert keys == sorted(keys)
+
+
+def test_iter_yields_sorted_counters():
+    stats = Stats()
+    stats.add("z", 1)
+    stats.add("a", 2)
+    assert [name for name, _ in stats] == ["a", "z"]

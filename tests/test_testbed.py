@@ -1,0 +1,103 @@
+"""Tests for the unified testbed (load, measured phases, memory)."""
+
+import pytest
+
+from repro.core.config import BenchConfig
+from repro.core.testbed import Testbed
+from repro.indexes.registry import IndexKind
+from repro.lsm.options import Granularity
+from repro.storage.stats import Stage
+from repro.workloads.ycsb import workload
+
+
+def _config(**overrides):
+    defaults = dict(index_kind=IndexKind.PGM, position_boundary=16,
+                    value_capacity=44, write_buffer_bytes=64 * 64,
+                    sstable_bytes=128 * 64, size_ratio=4, n_keys=3000)
+    defaults.update(overrides)
+    return BenchConfig(**defaults)
+
+
+@pytest.fixture()
+def bed():
+    bed = Testbed.from_config(_config())
+    yield bed
+    bed.close()
+
+
+def test_load_and_point_lookups(bed):
+    keys = bed.load_dataset("random", 3000)
+    metrics = bed.run_point_lookups(keys[::10])
+    assert metrics.ops == 300
+    assert metrics.avg_us > 0
+    assert metrics.stage_avg_us(Stage.IO) > 0
+    assert metrics.blocks_read_per_op() > 0
+    assert metrics.total_us == pytest.approx(
+        sum(metrics.stage_avg_us(s) * metrics.ops
+            for s in (Stage.TABLE_LOOKUP, Stage.PREDICTION, Stage.IO,
+                      Stage.SEARCH, Stage.SCAN)), rel=1e-6)
+
+
+def test_bulk_load_equivalent_reads(bed):
+    keys = bed.bulk_load_dataset("random", 3000)
+    for key in keys[::97]:
+        assert bed.db.get(key) == bed.value_for(key)
+    assert bed.level_keys()  # level assignment recorded
+    assert sum(len(v) for v in bed.level_keys().values()) == 3000
+
+
+def test_bulk_load_spans_levels(bed):
+    bed.bulk_load_dataset("random", 3000)
+    levels = sorted(bed.level_keys())
+    assert len(levels) >= 2
+    sizes = [len(bed.level_keys()[level]) for level in levels]
+    # Deeper levels hold geometrically more data.
+    assert sizes[-1] > sizes[0]
+
+
+def test_range_lookup_metrics(bed):
+    keys = bed.bulk_load_dataset("random", 3000)
+    metrics = bed.run_range_lookups(keys[::100], length=20)
+    assert metrics.ops == 30
+    assert metrics.stage_avg_us(Stage.SCAN) >= 0
+    assert metrics.total_us > 0
+
+
+def test_write_phase_reports_compaction(bed):
+    keys = bed.bulk_load_dataset("random", 2000)
+    fresh = [key + 1 for key in keys[:1500]]
+    metrics = bed.run_writes(fresh)
+    assert metrics.ops == 1500
+    assert metrics.stage_us.get(Stage.WRITE_PATH.value, 0) > 0
+    assert metrics.total_us > 0
+
+
+def test_ycsb_phase(bed):
+    keys = bed.bulk_load_dataset("random", 2000)
+    mix = workload("A", keys, seed=5)
+    metrics = bed.run_ycsb(mix, 500)
+    assert metrics.ops == 500
+    assert metrics.avg_us > 0
+
+
+def test_memory_metrics(bed):
+    bed.bulk_load_dataset("random", 3000)
+    memory = bed.memory()
+    assert memory.index_bytes > 0
+    assert memory.bloom_bytes > 0
+    assert memory.total_bytes == (memory.index_bytes + memory.bloom_bytes
+                                  + memory.buffer_bytes)
+
+
+def test_level_granularity_testbed():
+    bed = Testbed.from_config(_config(granularity=Granularity.LEVEL))
+    keys = bed.bulk_load_dataset("random", 3000)
+    metrics = bed.run_point_lookups(keys[::20])
+    assert metrics.avg_us > 0
+    assert bed.memory().index_bytes > 0
+    bed.close()
+
+
+def test_value_for_fits_capacity(bed):
+    value = bed.value_for((1 << 63) - 1)
+    assert len(value) <= bed.options.value_capacity

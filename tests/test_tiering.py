@@ -1,0 +1,150 @@
+"""Tests for the tiering compaction policy (the Section 6.2 extension)."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidOptionError
+from repro.indexes.registry import IndexKind
+from repro.lsm.db import LSMTree
+from repro.lsm.options import CompactionPolicy, Granularity, small_test_options
+from repro.storage.stats import COMPACT_BYTES_IN
+
+
+def _tiered_options(**overrides):
+    return small_test_options(
+        compaction_policy=CompactionPolicy.TIERING, **overrides)
+
+
+def _fill(db, n=800, seed=2):
+    rng = random.Random(seed)
+    keys = rng.sample(range(1, 1 << 40), n)
+    reference = {}
+    for i, key in enumerate(keys):
+        value = b"v%d" % i
+        db.put(key, value)
+        reference[key] = value
+    return keys, reference
+
+
+def test_put_get_roundtrip_tiering():
+    db = LSMTree(_tiered_options())
+    keys, reference = _fill(db)
+    for key in keys[::7]:
+        assert db.get(key) == reference[key]
+    db.close()
+
+
+def test_overwrites_resolve_to_newest_run():
+    db = LSMTree(_tiered_options())
+    keys, reference = _fill(db, n=400)
+    for key in keys[:100]:
+        db.put(key, b"new")
+        reference[key] = b"new"
+    db.flush()
+    for key in keys[:100]:
+        assert db.get(key) == b"new"
+    db.close()
+
+
+def test_deletes_with_tiering():
+    db = LSMTree(_tiered_options())
+    keys, reference = _fill(db, n=400)
+    for key in keys[:80]:
+        db.delete(key)
+        del reference[key]
+    db.flush()
+    for key in keys[:120]:
+        assert db.get(key) == reference.get(key)
+    db.close()
+
+
+def test_scan_matches_reference_tiering():
+    db = LSMTree(_tiered_options())
+    keys, reference = _fill(db, n=600)
+    ordered = sorted(reference)
+    start = ordered[200]
+    expected = [(k, reference[k]) for k in ordered[200:240]]
+    assert db.scan(start, 40) == expected
+    db.close()
+
+
+def test_levels_hold_multiple_runs():
+    db = LSMTree(_tiered_options())
+    _fill(db, n=900)
+    db.flush()
+    # Under tiering some level must accumulate several (overlapping) runs.
+    multi = [level for level in range(1, db.options.max_levels)
+             if db.version.file_count(level) > 1]
+    assert multi, db.describe_levels()
+    # Runs in one level may overlap (that is the point of tiering).
+    level = multi[0]
+    files = db.version.levels[level]
+    overlaps = any(a.max_key >= b.min_key and b.max_key >= a.min_key
+                   for i, a in enumerate(files) for b in files[i + 1:])
+    assert overlaps
+    db.close()
+
+
+def test_tiering_writes_less_than_leveling():
+    """Tiering's point: each entry is rewritten fewer times."""
+    results = {}
+    for policy in (CompactionPolicy.LEVELING, CompactionPolicy.TIERING):
+        db = LSMTree(small_test_options(compaction_policy=policy))
+        _fill(db, n=1200, seed=5)
+        db.flush()
+        results[policy] = db.stats.get(COMPACT_BYTES_IN)
+        db.close()
+    assert results[CompactionPolicy.TIERING] \
+        < results[CompactionPolicy.LEVELING]
+
+
+def test_tiering_rejects_level_granularity():
+    with pytest.raises(InvalidOptionError):
+        _tiered_options(granularity=Granularity.LEVEL)
+
+
+@pytest.mark.parametrize("kind", [IndexKind.FP, IndexKind.PGM,
+                                  IndexKind.RMI])
+def test_all_kinds_serve_reads_under_tiering(kind):
+    db = LSMTree(_tiered_options(index_kind=kind))
+    keys, reference = _fill(db, n=700, seed=4)
+    for key in keys[::11]:
+        assert db.get(key) == reference[key]
+    db.close()
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.integers(0, 1 << 16),
+                  st.binary(max_size=8)),
+        st.tuples(st.just("delete"), st.integers(0, 1 << 16), st.just(b"")),
+        st.tuples(st.just("get"), st.integers(0, 1 << 16), st.just(b"")),
+    ),
+    max_size=120))
+def test_model_based_tiering(ops):
+    db = LSMTree(_tiered_options(value_capacity=8))
+    reference = {}
+    try:
+        for op, key, value in ops:
+            if op == "put":
+                db.put(key, value)
+                reference[key] = value
+            elif op == "delete":
+                db.delete(key)
+                reference.pop(key, None)
+            else:
+                assert db.get(key) == reference.get(key)
+        db.flush()
+        db.maybe_compact()
+        for key, value in reference.items():
+            assert db.get(key) == value
+        cursor = db.iterator()
+        cursor.seek_to_first()
+        assert cursor.take(10_000) == sorted(reference.items())
+    finally:
+        db.close()

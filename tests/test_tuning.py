@@ -1,0 +1,172 @@
+"""Tests for the tuning advisor and memory ledger."""
+
+import pytest
+
+from repro.core.memory import MemoryLedger
+from repro.core.tuning import TuningAdvisor
+from repro.errors import BenchmarkError
+from repro.indexes.registry import IndexKind
+from repro.workloads.datasets import generate
+
+
+@pytest.fixture(scope="module")
+def sample_keys():
+    return generate("random", 4000, seed=7)
+
+
+def test_ledger_accounting():
+    ledger = MemoryLedger(1000)
+    ledger.allocate("index", 400)
+    ledger.allocate("bloom", 300)
+    assert ledger.used_bytes() == 700
+    assert ledger.remaining_bytes() == 300
+    assert ledger.fits()
+    assert ledger.utilisation() == pytest.approx(0.7)
+    assert ledger.share("index") == pytest.approx(4 / 7)
+    ledger.allocate("index", 800)  # replace, not add
+    assert ledger.used_bytes() == 1100
+    assert not ledger.fits()
+    ledger.release("bloom")
+    assert ledger.used_bytes() == 800
+    assert "index" in ledger.report()
+
+
+def test_ledger_rejects_negative():
+    with pytest.raises(BenchmarkError):
+        MemoryLedger(-1)
+    ledger = MemoryLedger(10)
+    with pytest.raises(BenchmarkError):
+        ledger.allocate("x", -5)
+
+
+def test_recommendation_fits_budget(sample_keys):
+    advisor = TuningAdvisor()
+    rec = advisor.recommend(memory_budget_bytes=200_000,
+                            sample_keys=sample_keys, total_keys=100_000,
+                            entry_bytes=1024)
+    assert rec.expected_index_bytes <= 100_000  # half reserved
+    assert rec.index_kind in set(advisor.kinds)
+    assert rec.position_boundary in set(advisor.boundaries)
+    assert rec.expected_latency_us > 0
+
+
+def test_bigger_budget_never_slower(sample_keys):
+    advisor = TuningAdvisor()
+    small = advisor.recommend(memory_budget_bytes=20_000,
+                              sample_keys=sample_keys, total_keys=500_000,
+                              entry_bytes=1024)
+    large = advisor.recommend(memory_budget_bytes=5_000_000,
+                              sample_keys=sample_keys, total_keys=500_000,
+                              entry_bytes=1024)
+    assert large.expected_latency_us <= small.expected_latency_us
+
+
+def test_tiny_budget_falls_back_frugally(sample_keys):
+    advisor = TuningAdvisor()
+    rec = advisor.recommend(memory_budget_bytes=64,
+                            sample_keys=sample_keys, total_keys=10_000_000,
+                            entry_bytes=1024)
+    assert rec.notes  # advisory note about the budget
+    assert rec.expected_index_bytes > 0
+
+
+def test_plateau_flagged(sample_keys):
+    advisor = TuningAdvisor()
+    rec = advisor.recommend(memory_budget_bytes=50_000_000,
+                            sample_keys=sample_keys, total_keys=100_000,
+                            entry_bytes=1024)
+    # A huge budget should land at (or below) the I/O plateau and say so.
+    assert rec.at_plateau
+
+
+def test_advisor_requires_sample():
+    advisor = TuningAdvisor()
+    with pytest.raises(BenchmarkError):
+        advisor.recommend(memory_budget_bytes=1000, sample_keys=[],
+                          total_keys=10, entry_bytes=1024)
+
+
+def test_level_boundary_allocation_prefers_hot_levels():
+    advisor = TuningAdvisor()
+    boundaries = advisor.allocate_level_boundaries(
+        level_entries={1: 10_000, 2: 100_000, 3: 1_000_000},
+        level_read_shares={1: 0.6, 2: 0.3, 3: 0.1},
+        bytes_per_key_at={256: 0.07},
+        index_budget_bytes=120_000,
+        entry_bytes=1024)
+    # The hot shallow level gets the tightest boundary.
+    assert boundaries[1] <= boundaries[2] <= boundaries[3]
+    assert boundaries[1] < 256
+
+
+def test_level_boundary_allocation_respects_budget():
+    advisor = TuningAdvisor()
+    entries = {1: 10_000, 2: 100_000}
+    cost_ref = {256: 0.07}
+    budget = 40_000
+    boundaries = advisor.allocate_level_boundaries(
+        level_entries=entries, level_read_shares={1: 0.5, 2: 0.5},
+        bytes_per_key_at=cost_ref, index_budget_bytes=budget,
+        entry_bytes=1024)
+
+    def cost(level, boundary):
+        return 0.07 * 256 / boundary * entries[level]
+
+    total = sum(cost(level, boundary)
+                for level, boundary in boundaries.items())
+    assert total <= budget * 1.01
+
+
+def test_level_boundary_allocation_rejects_zero_budget():
+    advisor = TuningAdvisor()
+    with pytest.raises(BenchmarkError):
+        advisor.allocate_level_boundaries(
+            level_entries={1: 10}, level_read_shares={1: 1.0},
+            bytes_per_key_at={256: 0.1}, index_budget_bytes=0,
+            entry_bytes=1024)
+
+
+def test_monkey_bloom_allocation_favours_shallow_levels():
+    advisor = TuningAdvisor()
+    entries = {1: 10_000, 2: 100_000, 3: 1_000_000}
+    bits = advisor.allocate_bloom_bits(
+        level_entries=entries,
+        total_bloom_bits=10 * sum(entries.values()))
+    # Shallow (small) levels get at least as many bits/key as deep ones.
+    assert bits[1] >= bits[2] >= bits[3]
+    assert bits[1] > 10  # better-than-uniform for the cheap level
+    spent = sum(bits[level] * entries[level] for level in entries)
+    assert spent <= 10 * sum(entries.values())
+
+
+def test_monkey_bloom_allocation_respects_cap_and_budget():
+    advisor = TuningAdvisor()
+    entries = {1: 100, 2: 100}
+    bits = advisor.allocate_bloom_bits(level_entries=entries,
+                                       total_bloom_bits=100_000,
+                                       max_bits_per_key=12)
+    assert all(value <= 12 for value in bits.values())
+    with pytest.raises(BenchmarkError):
+        advisor.allocate_bloom_bits(level_entries=entries,
+                                    total_bloom_bits=0)
+
+
+def test_monkey_allocation_integrates_with_options():
+    from repro.lsm.db import LSMTree
+    from repro.lsm.options import small_test_options
+
+    advisor = TuningAdvisor()
+    bits = advisor.allocate_bloom_bits(
+        level_entries={0: 64, 1: 256, 2: 1024},
+        total_bloom_bits=10 * (64 + 256 + 1024))
+    schedule = tuple(bits[level] for level in sorted(bits))
+    options = small_test_options(bloom_bits_per_level=schedule)
+    db = LSMTree(options)
+    import random
+    keys = random.Random(3).sample(range(1, 1 << 40), 500)
+    for i, key in enumerate(keys):
+        db.put(key, b"v%d" % i)
+    db.flush()
+    for key in keys[::17]:
+        assert db.get(key) is not None
+    db.close()

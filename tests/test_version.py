@@ -1,0 +1,115 @@
+"""Tests for level metadata bookkeeping."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.indexes.registry import IndexFactory, IndexKind
+from repro.lsm.options import small_test_options
+from repro.lsm.record import make_value
+from repro.lsm.sstable import TableBuilder
+from repro.lsm.version import FileMetaData, Version
+from repro.storage.block_device import MemoryBlockDevice
+from repro.storage.cost_model import CostModel
+from repro.storage.stats import Stats
+
+
+def _meta(number, keys, device=None, stats=None):
+    options = small_test_options()
+    stats = stats or Stats()
+    device = device or MemoryBlockDevice(block_size=options.block_size,
+                                         stats=stats)
+    builder = TableBuilder(device, f"sst-{number}", options,
+                           IndexFactory(IndexKind.FP, 8), stats,
+                           CostModel(block_size=options.block_size))
+    for i, key in enumerate(keys):
+        builder.add(make_value(key, i + 1, b"v"))
+    return FileMetaData(number=number, table=builder.finish())
+
+
+@pytest.fixture()
+def version():
+    return Version(max_levels=4)
+
+
+def test_add_sorted_non_overlapping(version):
+    version.add_file(1, _meta(1, range(100, 200)))
+    version.add_file(1, _meta(2, range(300, 400)))
+    version.add_file(1, _meta(3, range(200, 300)))
+    mins = [meta.min_key for meta in version.levels[1]]
+    assert mins == sorted(mins)
+    assert version.file_count(1) == 3
+
+
+def test_overlap_rejected_in_deep_levels(version):
+    version.add_file(1, _meta(1, range(100, 200)))
+    with pytest.raises(StorageError):
+        version.add_file(1, _meta(2, range(150, 250)))
+    with pytest.raises(StorageError):
+        version.add_file(1, _meta(3, range(50, 150)))
+
+
+def test_l0_allows_overlap_newest_first(version):
+    version.add_file(0, _meta(1, range(0, 100)))
+    version.add_file(0, _meta(2, range(50, 150)))
+    files = version.files_for_key(0, 75)
+    assert [meta.number for meta in files] == [2, 1]  # newest first
+
+
+def test_files_for_key_deep_level(version):
+    version.add_file(1, _meta(1, range(100, 200)))
+    version.add_file(1, _meta(2, range(300, 400)))
+    assert [m.number for m in version.files_for_key(1, 150)] == [1]
+    assert version.files_for_key(1, 250) == []
+    assert version.files_for_key(1, 50) == []
+    assert [m.number for m in version.files_for_key(1, 399)] == [2]
+
+
+def test_overlapping_files(version):
+    version.add_file(1, _meta(1, range(0, 100)))
+    version.add_file(1, _meta(2, range(200, 300)))
+    version.add_file(1, _meta(3, range(400, 500)))
+    got = version.overlapping_files(1, 250, 450)
+    assert [meta.number for meta in got] == [2, 3]
+    assert version.overlapping_files(1, 100, 199) == []
+
+
+def test_remove_files(version):
+    a = _meta(1, range(0, 100))
+    b = _meta(2, range(200, 300))
+    version.add_file(1, a)
+    version.add_file(1, b)
+    version.remove_files(1, [a])
+    assert [meta.number for meta in version.levels[1]] == [2]
+
+
+def test_byte_and_entry_accounting(version):
+    version.add_file(1, _meta(1, range(100)))
+    version.add_file(2, _meta(2, range(200, 250)))
+    assert version.level_entry_count(1) == 100
+    assert version.level_entry_count(2) == 50
+    assert version.level_data_bytes(1) == 100 * 64
+    assert version.file_count() == 2
+
+
+def test_deepest_nonempty_and_overlaps_below(version):
+    assert version.deepest_nonempty_level() == -1
+    version.add_file(1, _meta(1, range(100)))
+    version.add_file(3, _meta(2, range(1000, 1100)))
+    assert version.deepest_nonempty_level() == 3
+    assert version.key_range_overlaps_below(1, 1000, 1050)
+    assert not version.key_range_overlaps_below(1, 0, 999)
+    assert not version.key_range_overlaps_below(3, 0, 5000)
+
+
+def test_all_files_order(version):
+    version.add_file(2, _meta(1, range(100)))
+    version.add_file(0, _meta(2, range(200, 300)))
+    levels = [level for level, _ in version.all_files()]
+    assert levels == sorted(levels)
+
+
+def test_level_bounds_checked(version):
+    with pytest.raises(StorageError):
+        version.files_for_key(9, 1)
+    with pytest.raises(StorageError):
+        version.add_file(-1, _meta(1, range(10)))

@@ -1,0 +1,95 @@
+"""Tests for the YCSB workload generator."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.ycsb import (
+    CORE_WORKLOADS,
+    OpKind,
+    WorkloadSpec,
+    YCSBWorkload,
+    workload,
+)
+
+
+@pytest.fixture()
+def loaded_keys():
+    return list(range(1000, 2000))
+
+
+def _mix(ops):
+    counts = {}
+    for op in ops:
+        counts[op.kind] = counts.get(op.kind, 0) + 1
+    total = sum(counts.values())
+    return {kind: count / total for kind, count in counts.items()}
+
+
+def test_core_specs_sum_to_one():
+    for spec in CORE_WORKLOADS.values():
+        spec.validate()
+
+
+def test_invalid_spec_rejected():
+    with pytest.raises(WorkloadError):
+        WorkloadSpec(name="bad", read=0.5, update=0.3).validate()
+
+
+@pytest.mark.parametrize("name,expected", [
+    ("A", {OpKind.READ: 0.5, OpKind.UPDATE: 0.5}),
+    ("B", {OpKind.READ: 0.95, OpKind.UPDATE: 0.05}),
+    ("C", {OpKind.READ: 1.0}),
+    ("F", {OpKind.READ: 0.5, OpKind.READ_MODIFY_WRITE: 0.5}),
+])
+def test_operation_mixes(name, expected, loaded_keys):
+    ops = list(workload(name, loaded_keys, seed=1).operations(4000))
+    mix = _mix(ops)
+    for kind, fraction in expected.items():
+        assert mix.get(kind, 0.0) == pytest.approx(fraction, abs=0.05)
+
+
+def test_workload_d_inserts_and_latest(loaded_keys):
+    reserve = list(range(5000, 5500))
+    mix = workload("D", loaded_keys, insert_reserve=reserve, seed=2)
+    ops = list(mix.operations(2000))
+    inserts = [op for op in ops if op.kind is OpKind.INSERT]
+    assert inserts
+    assert all(op.key in set(reserve) for op in inserts)
+    # Reads after inserts may target inserted keys (latest distribution).
+    read_keys = {op.key for op in ops if op.kind is OpKind.READ}
+    assert read_keys & (set(loaded_keys) | set(reserve))
+
+
+def test_workload_e_scan_lengths(loaded_keys):
+    ops = list(workload("E", loaded_keys, seed=3).operations(2000))
+    scans = [op for op in ops if op.kind is OpKind.SCAN]
+    assert scans
+    assert all(1 <= op.scan_length <= 100 for op in scans)
+    assert any(op.scan_length > 50 for op in scans)
+
+
+def test_insert_reserve_exhaustion_synthesises_keys(loaded_keys):
+    mix = workload("D", loaded_keys, insert_reserve=[5000], seed=4)
+    ops = [op for op in mix.operations(3000) if op.kind is OpKind.INSERT]
+    assert len(ops) > 1
+    keys = [op.key for op in ops]
+    assert keys[0] == 5000
+    assert len(set(keys)) == len(keys)  # all distinct
+
+
+def test_determinism(loaded_keys):
+    a = [(op.kind, op.key) for op in
+         workload("A", loaded_keys, seed=9).operations(500)]
+    b = [(op.kind, op.key) for op in
+         workload("A", loaded_keys, seed=9).operations(500)]
+    assert a == b
+
+
+def test_unknown_workload(loaded_keys):
+    with pytest.raises(WorkloadError):
+        workload("Z", loaded_keys)
+
+
+def test_empty_load_rejected():
+    with pytest.raises(WorkloadError):
+        YCSBWorkload(spec=CORE_WORKLOADS["A"], loaded_keys=[])
