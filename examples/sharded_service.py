@@ -1,0 +1,80 @@
+"""The serving layer: shards, write batches and the block cache together.
+
+Builds a ShardedDB — four LSM-tree shards behind a hash router, each
+with a write-ahead log and an LRU block cache — loads it through
+group-committed WriteBatches, serves a skewed read workload that warms
+the caches, scans across shard boundaries, and finally crash-recovers
+every shard from its device.
+
+Run:  python examples/sharded_service.py
+"""
+
+import random
+
+from repro import IndexKind, Options, ShardedDB, WriteBatch
+from repro.storage.stats import WAL_GROUP_COMMITS
+from repro.workloads.distributions import make_picker
+
+
+def main() -> None:
+    options = Options(
+        index_kind=IndexKind.PGM,
+        position_boundary=32,
+        value_capacity=236,            # 256-byte entries
+        write_buffer_bytes=128 * 1024,
+        sstable_bytes=512 * 1024,
+        enable_wal=True,               # durable writes ...
+        cache_bytes=2 * 1024 * 1024,   # ... and a 2 MiB cache per shard
+    )
+    db = ShardedDB(num_shards=4, options=options)
+
+    # -- load through group-committed batches --------------------------
+    rng = random.Random(7)
+    keys = sorted(rng.sample(range(1, 1 << 62), 40_000))
+    batch = WriteBatch()
+    for i, key in enumerate(keys):
+        batch.put(key, b"payload-%d" % i)
+        if len(batch) == 256:
+            db.write(batch)
+            batch.clear()
+    db.write(batch)
+    commits = db.stats.get(WAL_GROUP_COMMITS)
+    print(f"loaded {len(keys):,} keys via {int(commits):,} WAL group "
+          f"commits (~{len(keys) / commits:.0f} records each)")
+    db.flush()
+
+    # -- skewed reads warm the block caches ----------------------------
+    picker = make_picker("zipfian", len(keys), seed=11)
+    for _ in range(20_000):
+        db.get(keys[picker.pick()])
+    print(f"zipfian reads: block cache hit rate "
+          f"{db.cache_hit_rate():.0%}")
+
+    # -- a scan that crosses shard boundaries --------------------------
+    start = keys[20_000]
+    window = db.scan(start, 8)
+    owners = [db.shard_for(key) for key, _ in window]
+    print(f"scan of 8 keys from {start} touches shards {owners}")
+
+    # -- per-shard shape ------------------------------------------------
+    print("\nshard shape (hash routing keeps it even):")
+    for row in db.describe_shards():
+        print(f"  shard {row['shard']}: {row['entries']:>7,} entries, "
+              f"{row['files']:>3} files, {row['levels']} levels")
+    print(f"  balance (max/mean entries): {db.shard_balance():.3f}")
+
+    # -- crash recovery -------------------------------------------------
+    extra = WriteBatch()
+    for key in keys[:100]:
+        extra.put(key, b"unflushed-update")
+    db.write(extra)  # lives only in the WALs
+    recovered = ShardedDB.reopen(4, options, [s.device for s in db.shards])
+    survivors = sum(recovered.get(key) == b"unflushed-update"
+                    for key in keys[:100])
+    print(f"\ncrash recovery: {survivors}/100 unflushed batch records "
+          "replayed from the shard WALs")
+    recovered.close()
+
+
+if __name__ == "__main__":
+    main()

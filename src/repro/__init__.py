@@ -30,7 +30,8 @@ from repro.indexes import (
     IndexKind,
     SearchBound,
 )
-from repro.lsm import LSMTree, Options
+from repro.lsm import LSMTree, Options, WriteBatch
+from repro.service import HashRouter, ShardedDB
 from repro.storage import CostModel, MemoryBlockDevice, Stage, Stats
 
 __version__ = "1.0.0"
@@ -45,6 +46,9 @@ __all__ = [
     "LEARNED_KINDS",
     "LSMTree",
     "Options",
+    "WriteBatch",
+    "ShardedDB",
+    "HashRouter",
     "CostModel",
     "MemoryBlockDevice",
     "Stats",

@@ -19,6 +19,7 @@ from repro.bench.experiments import (
     fig11_range_lookup,
     fig12_ycsb,
     hardware_study,
+    service_study,
     table1_stage_times,
     tiering_study,
     unclustered_study,
@@ -38,6 +39,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     unclustered_study.EXPERIMENT_ID: unclustered_study.run,
     tiering_study.EXPERIMENT_ID: tiering_study.run,
     hardware_study.EXPERIMENT_ID: hardware_study.run,
+    service_study.EXPERIMENT_ID: service_study.run,
 }
 
 TITLES: Dict[str, str] = {
@@ -54,6 +56,7 @@ TITLES: Dict[str, str] = {
     unclustered_study.EXPERIMENT_ID: unclustered_study.TITLE,
     tiering_study.EXPERIMENT_ID: tiering_study.TITLE,
     hardware_study.EXPERIMENT_ID: hardware_study.TITLE,
+    service_study.EXPERIMENT_ID: service_study.TITLE,
 }
 
 __all__ = ["EXPERIMENTS", "TITLES"]

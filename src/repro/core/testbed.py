@@ -28,7 +28,7 @@ from repro.storage.stats import (
     StatsSnapshot,
 )
 from repro.workloads import datasets as dataset_mod
-from repro.workloads.ycsb import OpKind, YCSBWorkload
+from repro.workloads.ycsb import YCSBWorkload, replay
 
 
 @dataclass(frozen=True)
@@ -198,22 +198,18 @@ class Testbed:
                             stage_us=stage_us,
                             counters=dict(delta.counters))
 
-    def run_ycsb(self, workload: YCSBWorkload, n_ops: int) -> PhaseMetrics:
-        """Execute a YCSB operation stream; returns whole-phase metrics."""
+    def run_ycsb(self, workload: YCSBWorkload, n_ops: int,
+                 write_batch_size: int = 1) -> PhaseMetrics:
+        """Execute a YCSB operation stream; returns whole-phase metrics.
+
+        ``write_batch_size > 1`` groups consecutive updates/inserts
+        into :class:`~repro.lsm.write_batch.WriteBatch` group commits
+        (see :func:`repro.workloads.ycsb.replay`).
+        """
         before = self.db.stats.snapshot()
         db = self.db
-        for op in workload.operations(n_ops):
-            if op.kind is OpKind.READ:
-                db.get(op.key)
-            elif op.kind is OpKind.UPDATE:
-                db.put(op.key, self.value_for(op.key))
-            elif op.kind is OpKind.INSERT:
-                db.put(op.key, self.value_for(op.key))
-            elif op.kind is OpKind.SCAN:
-                db.scan(op.key, op.scan_length)
-            elif op.kind is OpKind.READ_MODIFY_WRITE:
-                db.get(op.key)
-                db.put(op.key, self.value_for(op.key))
+        replay(db, workload.operations(n_ops), self.value_for,
+               write_batch_size=write_batch_size)
         delta = before.delta(db.stats)
         stage_us = {stage.value: us for stage, us in delta.stage_us.items()}
         return PhaseMetrics(ops=n_ops,

@@ -37,6 +37,7 @@ from repro.lsm.record import (
 from repro.lsm.sstable import Table, TableBuilder, TableIterator
 from repro.lsm.version import FileMetaData, Version
 from repro.lsm.wal import WriteAheadLog
+from repro.lsm.write_batch import WriteBatch
 
 __all__ = [
     "LSMTree",
@@ -54,6 +55,7 @@ __all__ = [
     "MemTable",
     "BloomFilter",
     "WriteAheadLog",
+    "WriteBatch",
     "Table",
     "TableBuilder",
     "TableIterator",

@@ -32,12 +32,20 @@ from repro.lsm.iterators import (
 from repro.lsm.level_index import LevelModelManager
 from repro.lsm.memtable import MemTable
 from repro.lsm.options import CompactionPolicy, Granularity, Options
-from repro.lsm.record import Record, make_tombstone, make_value
+from repro.lsm.record import (
+    KIND_VALUE,
+    Record,
+    make_tombstone,
+    make_value,
+)
 from repro.lsm.sstable import Table, TableBuilder, TableIterator
 from repro.lsm.version import FileMetaData, Version
 from repro.lsm.wal import WriteAheadLog
+from repro.lsm.write_batch import WriteBatch
+from repro.storage.block_cache import CachedBlockDevice
 from repro.storage.block_device import BlockDevice, MemoryBlockDevice
 from repro.storage.stats import (
+    BATCH_WRITES,
     BLOOM_FALSE_POSITIVES,
     BLOOM_NEGATIVES,
     BLOOM_PROBES,
@@ -61,8 +69,17 @@ class LSMTree:
         if device is None:
             device = MemoryBlockDevice(block_size=self.options.block_size,
                                        stats=self.stats)
-        else:
-            device.stats = self.stats
+        # ``cache_bytes`` is authoritative: an already-wrapped device
+        # (reopen paths hand back the old one) is unwrapped when the
+        # capacity changed, so stale cache configurations never survive
+        # a reopen; an unchanged capacity keeps the warm cache.
+        if (isinstance(device, CachedBlockDevice)
+                and device.cache.capacity_bytes != self.options.cache_bytes):
+            device = device.inner
+        if (self.options.cache_bytes > 0
+                and not isinstance(device, CachedBlockDevice)):
+            device = CachedBlockDevice(device, self.options.cache_bytes)
+        device.stats = self.stats
         self.device = device
         self.cost = self.options.cost_model
         self.index_factory = self.options.make_index_factory()
@@ -173,11 +190,50 @@ class LSMTree:
     def _apply(self, record: Record) -> None:
         if self.wal is not None:
             self.wal.append(record)
+            self.stats.charge(Stage.WRITE_PATH, self.cost.wal_commit_us)
         self.memtable.add(record)
         self.stats.add(UPDATES)
         self.stats.charge(Stage.WRITE_PATH, self.cost.write_entry_us)
         if self.memtable.approximate_bytes() >= self.options.write_buffer_bytes:
             self.flush()
+
+    def write(self, batch: WriteBatch) -> int:
+        """Apply ``batch`` atomically; returns the records applied.
+
+        All records of the batch share consecutive sequence numbers and
+        a single WAL *group commit* (one CRC frame, one device append),
+        so a batch of K durable puts pays the per-commit overhead once
+        instead of K times.  Validation happens before any mutation:
+        an oversized value rejects the whole batch, leaving the
+        database untouched.  Within a batch, later operations on a key
+        supersede earlier ones, exactly as for individual calls.
+        """
+        self._check_open()
+        ops = list(batch)
+        if not ops:
+            return 0
+        for kind, _, value in ops:
+            if kind == KIND_VALUE and len(value) > self.options.value_capacity:
+                raise InvalidOptionError(
+                    f"value of {len(value)} bytes exceeds value_capacity "
+                    f"{self.options.value_capacity}")
+        records = []
+        for kind, key, value in ops:
+            self._seq += 1
+            records.append(Record(key=key, seq=self._seq, kind=kind,
+                                  value=bytes(value)))
+        if self.wal is not None:
+            self.wal.append_batch(records)
+            self.stats.charge(Stage.WRITE_PATH, self.cost.wal_commit_us)
+        for record in records:
+            self.memtable.add(record)
+        self.stats.add(UPDATES, len(records))
+        self.stats.add(BATCH_WRITES)
+        self.stats.charge(Stage.WRITE_PATH,
+                          self.cost.write_entry_us * len(records))
+        if self.memtable.approximate_bytes() >= self.options.write_buffer_bytes:
+            self.flush()
+        return len(records)
 
     def flush(self) -> Optional[FileMetaData]:
         """Write the memtable to a new L0 table and run due compactions."""

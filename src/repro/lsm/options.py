@@ -93,6 +93,12 @@ class Options:
     #: Write-ahead logging (off by default: benchmarks measure the
     #: paper's pipeline, which does not fsync a WAL per write).
     enable_wal: bool = False
+    #: LRU block-cache capacity in bytes (0 disables caching).  When
+    #: positive the database wraps its device in a
+    #: :class:`~repro.storage.block_cache.CachedBlockDevice`, so hot
+    #: segment blocks are served from memory instead of simulated disk;
+    #: hit/miss counters land in :class:`~repro.storage.stats.Stats`.
+    cache_bytes: int = 0
 
     # -- index parameters -------------------------------------------------
     #: PGM internal error bound (the paper keeps the default 4).
@@ -183,6 +189,9 @@ class Options:
             raise InvalidOptionError(
                 f"l0_compaction_trigger must be >= 1, got "
                 f"{self.l0_compaction_trigger}")
+        if self.cache_bytes < 0:
+            raise InvalidOptionError(
+                f"cache_bytes must be >= 0, got {self.cache_bytes}")
         if (self.compaction_policy is CompactionPolicy.TIERING
                 and self.granularity is Granularity.LEVEL):
             raise InvalidOptionError(

@@ -309,13 +309,26 @@ class Table:
 
     def read_entries(self, lo: int, hi: int, stage: Stage,
                      *, seeks: int = 1) -> bytes:
-        """Fetch entries [lo, hi) from the device, charging ``stage``."""
+        """Fetch entries [lo, hi) from the device, charging ``stage``.
+
+        Blocks served by a block cache (when the device is a
+        :class:`~repro.storage.block_cache.CachedBlockDevice`) are
+        charged at memory-copy cost instead of seek + transfer.
+        """
         entry_bytes = self.footer.entry_bytes
         offset = lo * entry_bytes
         length = (hi - lo) * entry_bytes
-        data = self.device.pread(self.name, offset, length)
+        data, hit_frac = self.device.pread_cached(self.name, offset, length)
         nblocks = self.cost.blocks_spanned(offset, length)
-        self.stats.charge(stage, self.cost.read_us(nblocks, seeks=seeks))
+        if hit_frac > 0.0:
+            hit_blocks = nblocks * hit_frac
+            miss_blocks = nblocks - hit_blocks
+            us = self.cost.read_us(miss_blocks,
+                                   seeks=seeks if miss_blocks else 0)
+            us += hit_blocks * self.cost.cache_block_us
+        else:
+            us = self.cost.read_us(nblocks, seeks=seeks)
+        self.stats.charge(stage, us)
         return data
 
     def _bound_for(self, key: int) -> SearchBound:

@@ -1,44 +1,57 @@
-"""Write-ahead log: CRC-framed records on the block device.
+"""Write-ahead log: CRC-framed record groups on the block device.
 
 Disabled by default (the paper's benchmarks measure the read path and
 compaction, not fsync behaviour) but fully functional: every put or
-delete appends one frame; on reopen, :meth:`WriteAheadLog.replay`
-yields the surviving records so the memtable can be reconstructed.
-Torn or corrupt tails are detected via CRC32 and truncated silently,
-mirroring LevelDB's recovery semantics.
+delete appends one frame, and a :class:`~repro.lsm.write_batch.WriteBatch`
+appends one frame holding *all* of its records — the group commit the
+serving layer relies on to amortize logging.  On reopen,
+:meth:`WriteAheadLog.replay` yields the surviving records so the
+memtable can be reconstructed.  Torn or corrupt tails are detected via
+CRC32 and truncated silently, mirroring LevelDB's recovery semantics;
+because the CRC covers the whole frame, a torn group commit drops the
+entire batch, never a prefix of it.
 """
 
 from __future__ import annotations
 
 import struct
 import zlib
-from typing import Iterator, List
+from typing import Iterator, List, Sequence
 
 from repro.errors import CorruptionError
 from repro.lsm.record import Record
+from repro.storage.stats import WAL_GROUP_COMMITS, WAL_RECORDS_APPENDED
 from repro.storage.block_device import BlockDevice
 
 _FRAME_HEADER = struct.Struct("<II")  # crc32, payload length
 _PAYLOAD_HEADER = struct.Struct("<QQI")  # key, seq<<8|kind, value length
 
 
-def _encode_payload(record: Record) -> bytes:
+def _encode_record(record: Record) -> bytes:
     meta = (record.seq << 8) | record.kind
     return _PAYLOAD_HEADER.pack(record.key, meta, len(record.value)) + record.value
 
 
-def _decode_payload(payload: bytes) -> Record:
-    if len(payload) < _PAYLOAD_HEADER.size:
-        raise CorruptionError("WAL payload shorter than its header")
-    key, meta, value_len = _PAYLOAD_HEADER.unpack_from(payload, 0)
-    value = payload[_PAYLOAD_HEADER.size:_PAYLOAD_HEADER.size + value_len]
-    if len(value) != value_len:
-        raise CorruptionError("WAL payload value truncated")
-    return Record(key=key, seq=meta >> 8, kind=meta & 0xFF, value=bytes(value))
+def _decode_records(payload: bytes) -> List[Record]:
+    """Decode the record sequence of one frame (1 for puts, K for batches)."""
+    records: List[Record] = []
+    offset = 0
+    while offset < len(payload):
+        if offset + _PAYLOAD_HEADER.size > len(payload):
+            raise CorruptionError("WAL payload shorter than its header")
+        key, meta, value_len = _PAYLOAD_HEADER.unpack_from(payload, offset)
+        offset += _PAYLOAD_HEADER.size
+        value = payload[offset:offset + value_len]
+        if len(value) != value_len:
+            raise CorruptionError("WAL payload value truncated")
+        offset += value_len
+        records.append(Record(key=key, seq=meta >> 8, kind=meta & 0xFF,
+                              value=bytes(value)))
+    return records
 
 
 class WriteAheadLog:
-    """An append-only log of records with per-frame CRCs."""
+    """An append-only log of record groups with per-frame CRCs."""
 
     def __init__(self, device: BlockDevice, name: str = "wal") -> None:
         self.device = device
@@ -47,15 +60,34 @@ class WriteAheadLog:
             device.create(name)
 
     def append(self, record: Record) -> None:
-        """Durably append one record."""
-        payload = _encode_payload(record)
+        """Durably append one record (a group commit of one)."""
+        self.append_batch((record,))
+
+    def append_batch(self, records: Sequence[Record]) -> None:
+        """Durably append ``records`` as one group commit.
+
+        All records share a single CRC-framed device append, so a batch
+        of K costs one write call instead of K and is recovered
+        all-or-nothing.  Empty batches are a no-op.
+        """
+        if not records:
+            return
+        payload = b"".join(_encode_record(record) for record in records)
         crc = zlib.crc32(payload)
         self.device.append(self.name, _FRAME_HEADER.pack(crc, len(payload))
                            + payload)
+        self.device.stats.add(WAL_GROUP_COMMITS)
+        self.device.stats.add(WAL_RECORDS_APPENDED, len(records))
 
     def replay(self) -> Iterator[Record]:
-        """Yield every intact record; stop silently at a corrupt tail."""
-        data = self.device.pread(self.name, 0, self.device.size(self.name))
+        """Yield every intact record; stop silently at a corrupt tail.
+
+        Reads bypass any block-cache tier: log blocks are replayed
+        once and never read again, so admitting them would only evict
+        hot table blocks during recovery.
+        """
+        data = self.device.pread_uncached(self.name, 0,
+                                          self.device.size(self.name))
         offset = 0
         while offset + _FRAME_HEADER.size <= len(data):
             crc, length = _FRAME_HEADER.unpack_from(data, offset)
@@ -66,7 +98,7 @@ class WriteAheadLog:
             payload = data[start:end]
             if zlib.crc32(payload) != crc:
                 return  # corrupt tail
-            yield _decode_payload(payload)
+            yield from _decode_records(payload)
             offset = end
 
     def replay_all(self) -> List[Record]:

@@ -1,0 +1,29 @@
+"""The serving layer: scale-out plumbing above the single LSM-tree.
+
+The paper evaluates learned indexes inside one LSM-tree; this package
+adds the system-level tier a production deployment puts on top:
+
+* :class:`~repro.service.sharded.ShardedDB` — hash-partitions the key
+  space over N independent :class:`~repro.lsm.db.LSMTree` shards with
+  merged cross-shard scans and aggregated stats;
+* :class:`~repro.lsm.write_batch.WriteBatch` (re-exported) — multi-key
+  updates applied through one WAL group commit per shard;
+* the LRU block cache (``Options.cache_bytes`` +
+  :class:`~repro.storage.block_cache.CachedBlockDevice`) each shard
+  places in front of its device.
+
+Together these open the benchmark scenarios a single tree cannot
+express: cache-size sweeps under Zipfian skew, shard scaling curves and
+write-batching amortization (``repro-bench service``).
+"""
+
+from repro.lsm.write_batch import WriteBatch
+from repro.service.router import HashRouter, mix64
+from repro.service.sharded import ShardedDB
+
+__all__ = [
+    "ShardedDB",
+    "HashRouter",
+    "WriteBatch",
+    "mix64",
+]

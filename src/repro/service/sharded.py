@@ -1,0 +1,211 @@
+"""ShardedDB: a scale-out front-end over N independent LSM-trees.
+
+The paper's testbed is one LSM-tree; a serving deployment partitions
+the key space over many, because each shard gets its own memtable,
+WAL, compaction schedule and (smaller) levels — shallower trees mean
+fewer probes per lookup, and independent shards are the unit that
+scales across cores or machines.  :class:`ShardedDB` reproduces that
+layer in-process: a :class:`~repro.service.router.HashRouter` assigns
+every key to one :class:`~repro.lsm.db.LSMTree` shard, point operations
+route directly, batches split into one group commit per shard touched,
+and range scans merge the per-shard sorted results.
+
+The front-end mirrors the single-tree surface (``put``/``get``/
+``delete``/``write``/``scan``/``flush``/``close``), so workload drivers
+— :func:`repro.workloads.ycsb.replay` in particular — run unchanged
+against either; ``tests/test_service.py`` exploits exactly that to
+check ShardedDB against a single-tree oracle.
+"""
+
+from __future__ import annotations
+
+import heapq
+from operator import itemgetter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import InvalidOptionError
+from repro.lsm.db import LSMTree
+from repro.lsm.options import Options
+from repro.lsm.write_batch import WriteBatch
+from repro.service.router import HashRouter
+from repro.storage.block_device import BlockDevice
+from repro.storage.stats import Stats
+
+
+class ShardedDB:
+    """Hash-partitioned key-value store over ``num_shards`` LSM-trees.
+
+    Every shard is a full :class:`~repro.lsm.db.LSMTree` with its own
+    device (fresh :class:`~repro.storage.block_device.MemoryBlockDevice`
+    instances unless ``devices`` supplies one per shard) and its own
+    :class:`~repro.storage.stats.Stats` registry; :attr:`stats`
+    aggregates them on demand.  ``options`` applies uniformly — including
+    ``cache_bytes``, which therefore provisions one block cache *per
+    shard*.
+    """
+
+    def __init__(self, num_shards: int = 4,
+                 options: Optional[Options] = None,
+                 devices: Optional[Sequence[BlockDevice]] = None) -> None:
+        self.router = HashRouter(num_shards)
+        self.options = options if options is not None else Options()
+        if devices is not None and len(devices) != num_shards:
+            raise InvalidOptionError(
+                f"got {len(devices)} devices for {num_shards} shards")
+        self.shards: List[LSMTree] = [
+            LSMTree(self.options,
+                    device=devices[i] if devices is not None else None)
+            for i in range(num_shards)
+        ]
+
+    @classmethod
+    def reopen(cls, num_shards: int, options: Options,
+               devices: Sequence[BlockDevice]) -> "ShardedDB":
+        """Rebuild every shard from its device (crash recovery).
+
+        Each shard recovers independently — SSTables from their footers,
+        surviving WAL records into the memtable — exactly like
+        :meth:`repro.lsm.db.LSMTree.reopen` for a single tree.
+        """
+        if len(devices) != num_shards:
+            raise InvalidOptionError(
+                f"got {len(devices)} devices for {num_shards} shards")
+        db = cls.__new__(cls)
+        db.router = HashRouter(num_shards)
+        db.options = options
+        db.shards = [LSMTree.reopen(options, device) for device in devices]
+        return db
+
+    # -- routing -------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        """How many shards the key space is partitioned over."""
+        return self.router.num_shards
+
+    def shard_for(self, key: int) -> int:
+        """The shard index owning ``key``."""
+        return self.router.shard_for(key)
+
+    # -- point operations ----------------------------------------------
+
+    def put(self, key: int, value: bytes) -> None:
+        """Insert or overwrite ``key`` on its owning shard."""
+        self.shards[self.router.shard_for(key)].put(key, value)
+
+    def get(self, key: int) -> Optional[bytes]:
+        """Point lookup; None when absent or deleted."""
+        return self.shards[self.router.shard_for(key)].get(key)
+
+    def delete(self, key: int) -> None:
+        """Delete ``key`` (writes a tombstone on its owning shard)."""
+        self.shards[self.router.shard_for(key)].delete(key)
+
+    # -- batched writes ------------------------------------------------
+
+    def write(self, batch: WriteBatch) -> int:
+        """Apply ``batch``, split shard-by-shard; returns records applied.
+
+        Each shard touched absorbs its sub-batch through one WAL group
+        commit, so a K-record batch over S shards costs exactly
+        ``min(S, shards touched)`` commits.  Atomicity is therefore
+        per-shard (as in any sharded store without a distributed
+        transaction log); per-key semantics are unaffected because a
+        key always lives on exactly one shard.
+        """
+        applied = 0
+        for shard, part in sorted(self.router.split(batch).items()):
+            applied += self.shards[shard].write(part)
+        return applied
+
+    # -- range lookups -------------------------------------------------
+
+    def scan(self, start_key: int, count: int) -> List[Tuple[int, bytes]]:
+        """Global range lookup: ``count`` live entries from ``start_key``.
+
+        Every shard returns its own first ``count`` entries at or above
+        ``start_key``; a k-way merge of those sorted, disjoint runs
+        yields the global prefix.  Per-shard truncation is safe: an
+        entry a shard did *not* return is preceded by ``count`` entries
+        of that shard alone, so it can never appear in the merged first
+        ``count``.
+        """
+        runs = [shard.scan(start_key, count) for shard in self.shards]
+        merged = heapq.merge(*runs, key=itemgetter(0))
+        return [pair for _, pair in zip(range(count), merged)]
+
+    def bulk_ingest(self, keys, value_for=None, seed: int = 0) -> None:
+        """Offline leveled fill of every shard (benchmark loading).
+
+        Partitions sorted unique ``keys`` by owning shard and delegates
+        to each shard's :meth:`~repro.lsm.db.LSMTree.bulk_ingest`, so a
+        sharded benchmark database is built without compaction churn.
+        """
+        for shard, part in zip(self.shards,
+                               self.router.partition_keys(keys)):
+            if part:
+                shard.bulk_ingest(sorted(part), value_for=value_for,
+                                  seed=seed)
+
+    # -- maintenance -----------------------------------------------------
+
+    def flush(self) -> None:
+        """Flush every shard's memtable and run due compactions."""
+        for shard in self.shards:
+            shard.flush()
+
+    def maybe_compact(self) -> None:
+        """Run compactions on every shard until capacities are met."""
+        for shard in self.shards:
+            shard.maybe_compact()
+
+    def close(self) -> None:
+        """Release every shard."""
+        for shard in self.shards:
+            shard.close()
+
+    # -- aggregated introspection ----------------------------------------
+
+    @property
+    def stats(self) -> Stats:
+        """A fresh registry holding the sum of every shard's stats."""
+        total = Stats()
+        for shard in self.shards:
+            total.merge(shard.stats)
+        return total
+
+    def entry_count(self) -> int:
+        """Total entries across all shards (incl. stale versions)."""
+        return sum(shard.entry_count() for shard in self.shards)
+
+    def memory_breakdown(self) -> Dict[str, int]:
+        """Bytes per in-memory component, summed over shards."""
+        total: Dict[str, int] = {}
+        for shard in self.shards:
+            for component, nbytes in shard.memory_breakdown().items():
+                total[component] = total.get(component, 0) + nbytes
+        return total
+
+    def cache_hit_rate(self) -> float:
+        """Aggregate block-cache hit fraction across shards."""
+        return self.stats.cache_hit_rate()
+
+    def describe_shards(self) -> List[Dict[str, float]]:
+        """Shape summary per shard (entries, files, read time)."""
+        out = []
+        for index, shard in enumerate(self.shards):
+            levels = shard.describe_levels()
+            out.append({
+                "shard": index,
+                "entries": shard.entry_count(),
+                "files": sum(row["files"] for row in levels),
+                "levels": len(levels),
+                "read_us": shard.stats.read_time(),
+            })
+        return out
+
+    def shard_balance(self) -> float:
+        """Max/mean entry-count ratio (1.0 = perfectly even spread)."""
+        counts = [shard.entry_count() for shard in self.shards]
+        mean = sum(counts) / len(counts)
+        return max(counts) / mean if mean else 1.0

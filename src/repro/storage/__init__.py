@@ -6,6 +6,7 @@ deterministic cost model calibrated against the paper's Table 1 that
 turns those counters into simulated microseconds.
 """
 
+from repro.storage.block_cache import CachedBlockDevice, LRUBlockCache
 from repro.storage.block_device import (
     DEFAULT_BLOCK_SIZE,
     BlockDevice,
@@ -27,6 +28,8 @@ __all__ = [
     "BlockDevice",
     "MemoryBlockDevice",
     "FileBlockDevice",
+    "CachedBlockDevice",
+    "LRUBlockCache",
     "DEFAULT_BLOCK_SIZE",
     "CostModel",
     "DEFAULT_COST_MODEL",

@@ -96,6 +96,29 @@ class BlockDevice(ABC):
     def list_files(self) -> List[str]:
         """All file names on the device, sorted."""
 
+    # -- cache-aware reads ---------------------------------------------
+
+    def pread_cached(self, name: str, offset: int,
+                     length: int) -> "tuple[bytes, float]":
+        """Read like :meth:`pread`, also reporting the cache-hit fraction.
+
+        The base devices have no cache tier, so the fraction is always
+        0.0; :class:`~repro.storage.block_cache.CachedBlockDevice`
+        overrides this so cache-aware call sites (the SSTable reader)
+        can charge memory-copy instead of I/O time for hot blocks.
+        """
+        return self.pread(name, offset, length), 0.0
+
+    def pread_uncached(self, name: str, offset: int, length: int) -> bytes:
+        """Read like :meth:`pread`, bypassing any cache tier.
+
+        For one-shot sequential reads of data that will never be read
+        again (WAL replay), where admitting blocks would only evict
+        hot SSTable blocks.  Identical to :meth:`pread` on the base
+        devices.
+        """
+        return self.pread(name, offset, length)
+
     # -- shared accounting ---------------------------------------------
 
     def record_read(self, offset: int, length: int) -> int:

@@ -69,10 +69,17 @@ class CostModel:
     bloom_probe_us: float = 0.08
     #: Copying one additional sequential block during a range scan.
     scan_block_us: float = 0.25
+    #: Serving one block from the in-memory LRU block cache (a memcpy,
+    #: ~an order of magnitude below ``block_read_us`` + seek).
+    cache_block_us: float = 0.02
 
     # Write path ------------------------------------------------------
     #: Appending one entry to the WAL + memtable insert.
     write_entry_us: float = 0.35
+    #: Fixed per-commit overhead of one durable WAL append (frame
+    #: assembly + submission).  A :class:`~repro.lsm.write_batch.WriteBatch`
+    #: of K records pays this once instead of K times (group commit).
+    wal_commit_us: float = 0.9
     #: Transfer cost per block written (serialisation + checksum heavy,
     #: hence larger than ``block_read_us``; see module docstring).
     block_write_us: float = 1.0

@@ -125,6 +125,13 @@ class Stats:
         """Simulated microseconds across the compaction stages."""
         return sum(self.stage_us.get(stage, 0.0) for stage in COMPACTION_STAGES)
 
+    def cache_hit_rate(self) -> float:
+        """Block-cache hit fraction (0.0 when no cached reads happened)."""
+        hits = self.counters.get(CACHE_HITS, 0.0)
+        misses = self.counters.get(CACHE_MISSES, 0.0)
+        total = hits + misses
+        return hits / total if total else 0.0
+
     # -- snapshots -----------------------------------------------------
 
     def snapshot(self) -> "StatsSnapshot":
@@ -219,8 +226,14 @@ BLOOM_FALSE_POSITIVES = "lookup.bloom_false_positives"
 POINT_LOOKUPS = "op.point_lookups"
 RANGE_LOOKUPS = "op.range_lookups"
 UPDATES = "op.updates"
+BATCH_WRITES = "op.batch_writes"
 FLUSHES = "op.flushes"
 COMPACTIONS = "op.compactions"
+WAL_GROUP_COMMITS = "wal.group_commits"
+WAL_RECORDS_APPENDED = "wal.records_appended"
+CACHE_HITS = "cache.block_hits"
+CACHE_MISSES = "cache.block_misses"
+CACHE_EVICTIONS = "cache.block_evictions"
 COMPACT_BYTES_IN = "compaction.bytes_in"
 COMPACT_BYTES_OUT = "compaction.bytes_out"
 TRAIN_KEY_VISITS = "train.key_visits"

@@ -26,6 +26,7 @@ from typing import Iterable, Iterator, List, TextIO
 
 from repro.errors import WorkloadError
 from repro.workloads.ycsb import Operation, OpKind
+from repro.workloads.ycsb import replay as ycsb_replay
 
 _HEADER = "# repro-trace v1"
 
@@ -114,29 +115,12 @@ def load_trace(source: TextIO) -> List[Operation]:
 
 
 def replay(db, operations: Iterable[Operation],
-           value_for=None) -> dict:
-    """Execute ``operations`` against an :class:`~repro.lsm.db.LSMTree`.
+           value_for=None, write_batch_size: int = 1) -> dict:
+    """Execute ``operations`` against a database; returns op counts.
 
-    Returns per-kind operation counts.  ``value_for(key)`` supplies
-    write payloads (defaults to a compact deterministic value).
+    A thin alias of :func:`repro.workloads.ycsb.replay` kept here
+    because traces are this module's concern; see that function for
+    the ``write_batch_size`` group-commit semantics.
     """
-    if value_for is None:
-        def value_for(key: int) -> bytes:  # noqa: ANN001 - local default
-            return b"t%x" % key
-    counts: dict = {}
-    for op in operations:
-        if op.kind is OpKind.READ:
-            db.get(op.key)
-        elif op.kind is OpKind.UPDATE and op.scan_length == -1:
-            db.delete(op.key)
-            counts["delete"] = counts.get("delete", 0) + 1
-            continue
-        elif op.kind in (OpKind.UPDATE, OpKind.INSERT):
-            db.put(op.key, value_for(op.key))
-        elif op.kind is OpKind.SCAN:
-            db.scan(op.key, op.scan_length)
-        elif op.kind is OpKind.READ_MODIFY_WRITE:
-            db.get(op.key)
-            db.put(op.key, value_for(op.key))
-        counts[op.kind.value] = counts.get(op.kind.value, 0) + 1
-    return counts
+    return ycsb_replay(db, operations, value_for=value_for,
+                       write_batch_size=write_batch_size)

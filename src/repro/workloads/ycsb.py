@@ -23,9 +23,10 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.errors import WorkloadError
+from repro.lsm.write_batch import WriteBatch
 from repro.workloads.distributions import KeyPicker, make_picker
 
 
@@ -157,6 +158,71 @@ class YCSBWorkload:
         top = max(self._insertion_order[-1],
                   self.insert_reserve[-1] if self.insert_reserve else 0)
         return top + 1 + self._reserve_pos
+
+
+def replay(db, operations: Iterable[Operation],
+           value_for: Optional[Callable[[int], bytes]] = None,
+           write_batch_size: int = 1) -> Dict[str, int]:
+    """Execute an operation stream against ``db``; returns op counts.
+
+    ``db`` is anything with the engine surface — an
+    :class:`~repro.lsm.db.LSMTree` or a
+    :class:`~repro.service.sharded.ShardedDB`.  ``value_for(key)``
+    supplies write payloads (defaults to a compact deterministic
+    value).  An UPDATE with ``scan_length == -1`` is the trace
+    encoding of a delete (see :mod:`repro.workloads.trace`).
+
+    With ``write_batch_size > 1``, consecutive updates, inserts and
+    deletes are staged into a
+    :class:`~repro.lsm.write_batch.WriteBatch` and committed as a
+    group once full; any read, scan or read-modify-write first commits
+    the pending batch, preserving read-your-writes semantics.
+    """
+    if write_batch_size < 1:
+        raise WorkloadError(
+            f"write_batch_size must be >= 1, got {write_batch_size}")
+    if value_for is None:
+        def value_for(key: int) -> bytes:  # noqa: ANN001 - local default
+            return b"t%x" % key
+    counts: Dict[str, int] = {}
+    pending = WriteBatch()
+
+    def commit() -> None:
+        if pending:
+            db.write(pending)
+            pending.clear()
+
+    batching = write_batch_size > 1
+    for op in operations:
+        if op.kind is OpKind.READ:
+            commit()
+            db.get(op.key)
+        elif op.kind is OpKind.UPDATE and op.scan_length == -1:
+            if batching:
+                pending.delete(op.key)
+                if len(pending) >= write_batch_size:
+                    commit()
+            else:
+                db.delete(op.key)
+            counts["delete"] = counts.get("delete", 0) + 1
+            continue
+        elif op.kind in (OpKind.UPDATE, OpKind.INSERT):
+            if batching:
+                pending.put(op.key, value_for(op.key))
+                if len(pending) >= write_batch_size:
+                    commit()
+            else:
+                db.put(op.key, value_for(op.key))
+        elif op.kind is OpKind.SCAN:
+            commit()
+            db.scan(op.key, op.scan_length)
+        elif op.kind is OpKind.READ_MODIFY_WRITE:
+            commit()
+            db.get(op.key)
+            db.put(op.key, value_for(op.key))
+        counts[op.kind.value] = counts.get(op.kind.value, 0) + 1
+    commit()
+    return counts
 
 
 def workload(name: str, loaded_keys: Sequence[int],

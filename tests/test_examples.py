@@ -13,6 +13,7 @@ _EXAMPLES = [
     "ycsb_benchmark.py",
     "per_level_boundaries.py",
     "trace_replay.py",
+    "sharded_service.py",
 ]
 
 _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))

@@ -17,6 +17,7 @@ from repro.bench.experiments import (
     fig10_level_overhead,
     fig11_range_lookup,
     fig12_ycsb,
+    service_study,
     table1_stage_times,
     unclustered_study,
 )
@@ -121,7 +122,8 @@ def test_ablations_runs():
 @pytest.mark.parametrize("module", [
     ablations, fig5_dataset_cdfs, fig6_boundary_sweep, fig7_breakdown,
     fig8_granularity, fig9_compaction, fig10_level_overhead,
-    table1_stage_times, fig11_range_lookup, fig12_ycsb, unclustered_study])
+    table1_stage_times, fig11_range_lookup, fig12_ycsb, unclustered_study,
+    service_study])
 def test_experiment_metadata(module):
     assert isinstance(module.EXPERIMENT_ID, str)
     assert isinstance(module.TITLE, str)
@@ -143,3 +145,14 @@ def test_tiering_study_runs():
     from repro.bench.experiments import tiering_study
     result = tiering_study.run(scale=MICRO)
     assert result.all_checks_passed, result.render()
+
+
+def test_service_study_runs():
+    result = service_study.run(scale=MICRO, shard_counts=(1, 4),
+                               batch_sizes=(1, 16))
+    assert result.tables
+    # Scale-robust claims: routing, scans, group-commit arithmetic and
+    # the cache showing hits must hold even at micro scale.
+    robust = [check for check in result.failed_checks()
+              if "latency" not in check.name and "read time" not in check.name]
+    assert not robust, result.render()

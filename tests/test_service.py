@@ -1,0 +1,217 @@
+"""Tests for the serving layer: routing, ShardedDB, oracle equivalence."""
+
+import random
+
+import pytest
+
+from repro.errors import InvalidOptionError
+from repro.lsm.db import LSMTree
+from repro.lsm.options import small_test_options
+from repro.lsm.write_batch import WriteBatch
+from repro.service.router import HashRouter, mix64
+from repro.service.sharded import ShardedDB
+from repro.storage.stats import UPDATES, WAL_GROUP_COMMITS
+from repro.workloads.ycsb import replay, workload
+
+
+# -- routing ------------------------------------------------------------
+
+def test_mix64_is_deterministic_and_bounded():
+    assert mix64(42) == mix64(42)
+    assert mix64(42) != mix64(43)
+    for key in (0, 1, (1 << 64) - 1, 1 << 63):
+        assert 0 <= mix64(key) < (1 << 64)
+
+
+def test_router_spreads_sequential_keys():
+    router = HashRouter(4)
+    counts = [0] * 4
+    for key in range(10_000):
+        shard = router.shard_for(key)
+        counts[shard] += 1
+    assert min(counts) > 10_000 / 4 * 0.8  # within 20% of even
+
+
+def test_router_split_preserves_per_key_order():
+    router = HashRouter(4)
+    batch = WriteBatch().put(7, b"a").delete(7).put(7, b"b")
+    parts = router.split(batch)
+    assert len(parts) == 1
+    (_, part), = parts.items()
+    assert len(part) == 3
+    kinds = [kind for kind, _, _ in part]
+    assert kinds[0] == kinds[2] != kinds[1]
+
+
+def test_router_rejects_zero_shards():
+    with pytest.raises(InvalidOptionError):
+        HashRouter(0)
+
+
+# -- ShardedDB basics ---------------------------------------------------
+
+def test_sharded_point_operations():
+    db = ShardedDB(num_shards=4, options=small_test_options())
+    for i in range(200):
+        db.put(i, b"v%d" % i)
+    assert db.get(50) == b"v50"
+    db.delete(50)
+    assert db.get(50) is None
+    assert db.get(10_000) is None
+
+
+def test_sharded_constructor_validation():
+    with pytest.raises(InvalidOptionError):
+        ShardedDB(num_shards=0)
+    from repro.storage.block_device import MemoryBlockDevice
+    with pytest.raises(InvalidOptionError):
+        ShardedDB(num_shards=2, options=small_test_options(),
+                  devices=[MemoryBlockDevice(block_size=256)])
+
+
+def test_sharded_write_splits_into_per_shard_group_commits():
+    db = ShardedDB(num_shards=4, options=small_test_options(enable_wal=True))
+    batch = WriteBatch()
+    for i in range(64):
+        batch.put(i, b"v%d" % i)
+    shards_touched = len({db.shard_for(i) for i in range(64)})
+    applied = db.write(batch)
+    assert applied == 64
+    assert db.stats.get(WAL_GROUP_COMMITS) == shards_touched
+    for i in range(64):
+        assert db.get(i) == b"v%d" % i
+
+
+def test_sharded_scan_merges_across_shards():
+    db = ShardedDB(num_shards=4, options=small_test_options())
+    keys = list(range(0, 1000, 3))
+    for key in keys:
+        db.put(key, b"k%d" % key)
+    got = db.scan(100, 20)
+    expected = [key for key in keys if key >= 100][:20]
+    assert [key for key, _ in got] == expected
+    assert all(value == b"k%d" % key for key, value in got)
+    # Scans starting past every key return nothing.
+    assert db.scan(10_000, 5) == []
+
+
+def test_sharded_aggregated_introspection():
+    db = ShardedDB(num_shards=3, options=small_test_options())
+    for i in range(300):
+        db.put(i, b"x")
+    assert db.stats.get(UPDATES) == 300
+    assert db.entry_count() >= 300
+    breakdown = db.memory_breakdown()
+    assert set(breakdown) == {"index", "bloom", "buffer"}
+    assert breakdown["buffer"] == 3 * db.options.write_buffer_bytes
+    assert len(db.describe_shards()) == 3
+    assert db.shard_balance() >= 1.0
+
+
+def test_sharded_bulk_ingest_and_balance(uniform_keys):
+    keys = uniform_keys[:4000]
+    db = ShardedDB(num_shards=4, options=small_test_options())
+    db.bulk_ingest(keys, seed=1)
+    assert db.entry_count() == len(keys)
+    assert db.shard_balance() < 1.25
+    start = keys[2000]
+    assert [key for key, _ in db.scan(start, 50)] == keys[2000:2050]
+
+
+def test_sharded_reopen_recovers_every_shard():
+    options = small_test_options(enable_wal=True)
+    db = ShardedDB(num_shards=3, options=options)
+    batch = WriteBatch()
+    for i in range(150):
+        batch.put(i, b"d%d" % i)
+    db.write(batch)
+    db.flush()  # some data in tables ...
+    batch.clear()
+    for i in range(150, 180):
+        batch.put(i, b"d%d" % i)
+    db.write(batch)  # ... and some only in WALs
+    recovered = ShardedDB.reopen(3, options, [s.device for s in db.shards])
+    for i in range(180):
+        assert recovered.get(i) == b"d%d" % i, i
+
+
+def test_sharded_cache_hit_rate_aggregates():
+    db = ShardedDB(num_shards=2,
+                   options=small_test_options(cache_bytes=64 * 1024))
+    for i in range(400):
+        db.put(i, b"c%d" % i)
+    db.flush()
+    for _ in range(3):
+        for i in range(0, 400, 5):
+            db.get(i)
+    assert db.cache_hit_rate() > 0.0
+
+
+# -- oracle equivalence -------------------------------------------------
+
+def test_sharded_matches_single_tree_oracle():
+    """Property test: a random op mix agrees with one LSMTree."""
+    rng = random.Random(0xD15C0)
+    sharded = ShardedDB(num_shards=4, options=small_test_options())
+    oracle = LSMTree(small_test_options())
+    key_space = range(1, 5000)
+    live = set()
+    batch = WriteBatch()
+    for step in range(4000):
+        roll = rng.random()
+        key = rng.choice(key_space)
+        if roll < 0.55:
+            value = b"s%d-%d" % (step, key)
+            sharded.put(key, value)
+            oracle.put(key, value)
+            live.add(key)
+        elif roll < 0.70:
+            sharded.delete(key)
+            oracle.delete(key)
+            live.discard(key)
+        elif roll < 0.85:
+            assert sharded.get(key) == oracle.get(key), key
+        else:
+            start = rng.choice(key_space)
+            count = rng.randrange(1, 40)
+            assert sharded.scan(start, count) == oracle.scan(start, count)
+    # Batched epilogue through both write paths.
+    for key in rng.sample(list(key_space), 200):
+        batch.put(key, b"final-%d" % key)
+    sharded.write(batch)
+    oracle.write(batch)
+    for key in rng.sample(list(key_space), 500):
+        assert sharded.get(key) == oracle.get(key), key
+    sharded.close()
+    oracle.close()
+
+
+# -- workload replay ----------------------------------------------------
+
+def test_ycsb_replay_over_sharded_db_with_batching():
+    keys = list(range(1, 2001))
+    values = {}
+
+    def value_for(key):
+        return b"y%d" % key
+
+    batched = ShardedDB(num_shards=4, options=small_test_options())
+    direct = ShardedDB(num_shards=4, options=small_test_options())
+    for key in keys:
+        batched.put(key, value_for(key))
+        direct.put(key, value_for(key))
+    mix = workload("A", keys, seed=9)
+    counts_batched = replay(batched, mix.operations(800), value_for,
+                            write_batch_size=16)
+    mix = workload("A", keys, seed=9)
+    counts_direct = replay(direct, mix.operations(800), value_for)
+    assert counts_batched == counts_direct
+    for key in keys[::7]:
+        assert batched.get(key) == direct.get(key), key
+
+
+def test_replay_rejects_bad_batch_size():
+    from repro.errors import WorkloadError
+    db = ShardedDB(num_shards=1, options=small_test_options())
+    with pytest.raises(WorkloadError):
+        replay(db, [], write_batch_size=0)
