@@ -1,0 +1,10 @@
+"""Benchmark: serving-layer study (cache, shards, batching)."""
+
+from conftest import assert_checks, run_once
+
+from repro.bench.experiments import service_study
+
+
+def test_service_study(benchmark, bench_scale):
+    result = run_once(benchmark, service_study.run, scale=bench_scale)
+    assert_checks(result)

@@ -27,9 +27,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Regenerate the paper's tables and figures.")
-    parser.add_argument("experiment",
+    parser.add_argument("experiment", nargs="?", default=None,
                         help="experiment id ('list' to enumerate, 'all' "
                              "to run everything)")
+    parser.add_argument("--list", action="store_true",
+                        dest="list_experiments",
+                        help="enumerate experiment ids and exit "
+                             "(same as the 'list' positional)")
     parser.add_argument("--scale", default="smoke", choices=sorted(SCALES),
                         help="workload scale preset (default: smoke)")
     parser.add_argument("--dataset", default=None,
@@ -84,11 +88,17 @@ def _run_one(experiment_id: str, scale: str, dataset: Optional[str],
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
-    if args.experiment == "list":
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_experiments or args.experiment == "list":
         for experiment_id in EXPERIMENTS:
             print(f"{experiment_id:<12s} {TITLES[experiment_id]}")
         return 0
+    if args.experiment is None:
+        parser.print_usage(sys.stderr)
+        print("error: an experiment id (or --list) is required",
+              file=sys.stderr)
+        return 2
     if args.experiment == "all":
         ok = True
         for experiment_id in EXPERIMENTS:

@@ -19,6 +19,7 @@ from repro.bench.experiments import (
     fig11_range_lookup,
     fig12_ycsb,
     hardware_study,
+    recovery_study,
     service_study,
     table1_stage_times,
     tiering_study,
@@ -40,6 +41,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     tiering_study.EXPERIMENT_ID: tiering_study.run,
     hardware_study.EXPERIMENT_ID: hardware_study.run,
     service_study.EXPERIMENT_ID: service_study.run,
+    recovery_study.EXPERIMENT_ID: recovery_study.run,
 }
 
 TITLES: Dict[str, str] = {
@@ -57,6 +59,7 @@ TITLES: Dict[str, str] = {
     tiering_study.EXPERIMENT_ID: tiering_study.TITLE,
     hardware_study.EXPERIMENT_ID: hardware_study.TITLE,
     service_study.EXPERIMENT_ID: service_study.TITLE,
+    recovery_study.EXPERIMENT_ID: recovery_study.TITLE,
 }
 
 __all__ = ["EXPERIMENTS", "TITLES"]

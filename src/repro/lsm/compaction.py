@@ -29,6 +29,7 @@ from repro.lsm.sstable import TableBuilder
 from repro.lsm.version import FileMetaData, Version
 from repro.lsm.level_index import LevelModelManager
 from repro.indexes.registry import IndexFactory
+from repro.persist.manifest import Manifest, VersionEdit
 from repro.storage.block_device import BlockDevice
 from repro.storage.cost_model import CostModel
 from repro.storage.stats import (
@@ -77,7 +78,8 @@ class Compactor:
                  cost: CostModel, index_factory: IndexFactory,
                  next_file_name: Callable[[], str],
                  next_file_number: Callable[[], int],
-                 level_models: Optional[LevelModelManager] = None) -> None:
+                 level_models: Optional[LevelModelManager] = None,
+                 manifest: Optional[Manifest] = None) -> None:
         self.device = device
         self.options = options
         self.stats = stats
@@ -86,6 +88,7 @@ class Compactor:
         self.next_file_name = next_file_name
         self.next_file_number = next_file_number
         self.level_models = level_models
+        self.manifest = manifest
         #: LevelDB-style compact pointers: last compacted max key per level.
         self._pointers: Dict[int, int] = {}
 
@@ -222,6 +225,16 @@ class Compactor:
 
     def _install(self, version: Version, task: CompactionTask,
                  outputs: List[FileMetaData]) -> None:
+        """Swap inputs for outputs and commit the result durably.
+
+        Crash-safe ordering: the output tables (and any retrained model
+        sidecars) are already on the device when the version edit is
+        appended, and the obsolete input files are deleted only *after*
+        the edit is durable.  A crash before the append recovers to the
+        pre-compaction version (the orphaned outputs are GCed); a crash
+        after it recovers to the post-compaction version (the undeleted
+        inputs are GCed).
+        """
         version.remove_files(task.level, task.inputs)
         version.remove_files(task.target_level, task.overlaps)
         for meta in outputs:
@@ -229,13 +242,31 @@ class Compactor:
         if task.inputs:
             self._pointers[task.level] = max(
                 meta.max_key for meta in task.inputs)
-        for meta in task.all_inputs():
-            if self.level_models is not None:
+        if self.level_models is not None:
+            for meta in task.all_inputs():
                 self.level_models.forget_keys(meta.name)
+        pointers: Dict[int, str] = {}
+        if self.level_models is not None:
+            for level in {task.target_level, task.level} - {0}:
+                pointer = self.level_models.rebuild(level,
+                                                    version.levels[level])
+                if pointer is not None:
+                    pointers[level] = pointer
+        if self.manifest is not None:
+            edit = VersionEdit(kind="compaction")
+            for meta in task.inputs:
+                edit.delete_file(task.level, meta.number, meta.name)
+            for meta in task.overlaps:
+                edit.delete_file(task.target_level, meta.number, meta.name)
+            for meta in outputs:
+                edit.add_file(task.target_level, meta.number, meta.name)
+            for level, pointer in pointers.items():
+                edit.point_model(level, pointer)
+            if outputs:
+                edit.next_file_number = max(meta.number for meta in outputs)
+            self.manifest.append(edit)
+            self.stats.charge(Stage.COMPACT_WRITE, self.cost.wal_commit_us)
+        for meta in task.all_inputs():
             meta.table.close()
         if self.level_models is not None:
-            self.level_models.rebuild(task.target_level,
-                                      version.levels[task.target_level])
-            if task.level >= 1:
-                self.level_models.rebuild(task.level,
-                                          version.levels[task.level])
+            self.level_models.drop_stale()

@@ -42,6 +42,15 @@ from repro.lsm.sstable import Table, TableBuilder, TableIterator
 from repro.lsm.version import FileMetaData, Version
 from repro.lsm.wal import WriteAheadLog
 from repro.lsm.write_batch import WriteBatch
+from repro.errors import CorruptionError
+from repro.indexes.registry import deserialize_index
+from repro.persist.manifest import (
+    MANIFEST_NAME,
+    MANIFEST_TMP_NAME,
+    Manifest,
+    VersionEdit,
+)
+from repro.persist.models import MODEL_FILE_PREFIX, ModelStore
 from repro.storage.block_cache import CachedBlockDevice
 from repro.storage.block_device import BlockDevice, MemoryBlockDevice
 from repro.storage.stats import (
@@ -52,6 +61,9 @@ from repro.storage.stats import (
     FLUSHES,
     POINT_LOOKUPS,
     RANGE_LOOKUPS,
+    RECOVERY_FILES_GCED,
+    RECOVERY_MANIFEST_OPENS,
+    RECOVERY_SCANS,
     UPDATES,
     Stage,
     Stats,
@@ -83,22 +95,35 @@ class LSMTree:
         self.device = device
         self.cost = self.options.cost_model
         self.index_factory = self.options.make_index_factory()
+        self.manifest: Optional[Manifest] = None
+        self.model_store: Optional[ModelStore] = None
+        if self.options.enable_manifest:
+            self.manifest = Manifest(self.device, stats=self.stats,
+                                     cost=self.cost)
+            if self.options.granularity is Granularity.LEVEL:
+                self.model_store = ModelStore(self.device, stats=self.stats,
+                                              cost=self.cost)
         self.level_models: Optional[LevelModelManager] = None
         if self.options.granularity is Granularity.LEVEL:
             self.level_models = LevelModelManager(
-                self.index_factory, self.stats, self.cost)
+                self.index_factory, self.stats, self.cost,
+                model_store=self.model_store)
         self.version = Version(
             max_levels=self.options.max_levels,
             overlapping_levels=(self.options.compaction_policy
                                 is CompactionPolicy.TIERING))
         self.memtable = MemTable(self.options.entry_bytes)
+        # Counters must exist before WAL replay: _replay_wal advances
+        # _seq past the highest surviving record, and that value must
+        # not be clobbered afterwards or a post-recovery write could be
+        # shadowed by an older WAL record with a higher sequence.
+        self._seq = 0
+        self._file_counter = 0
+        self._closed = False
         self.wal: Optional[WriteAheadLog] = None
         if self.options.enable_wal:
             self.wal = WriteAheadLog(self.device)
             self._replay_wal()
-        self._seq = 0
-        self._file_counter = 0
-        self._closed = False
         self._level_read_us: Dict[int, float] = {}
         self._level_read_ops: Dict[int, int] = {}
         self.compactor = Compactor(
@@ -106,46 +131,197 @@ class LSMTree:
             cost=self.cost, index_factory=self.index_factory,
             next_file_name=self._next_file_name,
             next_file_number=self._next_file_number,
-            level_models=self.level_models)
+            level_models=self.level_models,
+            manifest=self.manifest)
 
     # -- recovery ----------------------------------------------------------
 
     @classmethod
-    def reopen(cls, options: Options, device: BlockDevice) -> "LSMTree":
+    def reopen(cls, options: Options, device: BlockDevice, *,
+               use_manifest: Optional[bool] = None) -> "LSMTree":
         """Rebuild a database from the files on ``device``.
 
-        Tables are self-describing (their footers record level and max
-        sequence number), so no separate manifest is needed: every
-        ``sst-*`` file is opened, placed back at its level, and the
-        sequence counter resumes past the highest persisted sequence.
-        When a WAL is enabled its surviving records land back in the
-        memtable on construction, completing crash recovery.
+        Two recovery paths:
+
+        * **Manifest-driven** (the default when a manifest is present
+          and ``options.enable_manifest``): replay the version-edit log
+          — O(manifest), no directory scan — open exactly the files it
+          names, restore the sequence/file counters it recorded, and
+          deserialize persisted level models from their ``mdl-*``
+          sidecars instead of retraining them.  Files a crash left
+          unreferenced (compaction outputs whose commit never landed,
+          superseded model sidecars) are garbage-collected.
+        * **Directory scan** (the seed behaviour; forced with
+          ``use_manifest=False`` or when no manifest exists): tables
+          are self-describing (their footers record level and max
+          sequence number), so every ``sst-*`` file is opened and
+          placed back at its level; level models are retrained from
+          reloaded keys.  When a manifest is enabled the scan result is
+          then snapshotted, migrating the database to manifest-driven
+          recovery.
+
+        Either way, when a WAL is enabled its surviving records land
+        back in the memtable on construction, completing crash
+        recovery.
         """
+        manifest_present = device.exists(MANIFEST_NAME)
         db = cls(options, device=device)
-        names = sorted(name for name in device.list_files()
+        if (db.manifest is not None and manifest_present
+                and use_manifest is not False):
+            db._recover_from_manifest(db.manifest.replay())
+            db.stats.add(RECOVERY_MANIFEST_OPENS)
+        else:
+            db._recover_by_scan()
+            db.stats.add(RECOVERY_SCANS)
+            if db.manifest is not None:
+                db.manifest.rewrite(db._snapshot_edit("migrate"))
+            elif manifest_present:
+                # Persistence opt-out on a device that carries a
+                # manifest: this session will not log edits, so the
+                # log would go stale — and a *later* manifest-enabled
+                # reopen would replay it and garbage-collect every
+                # file written in between.  A missing manifest (clean
+                # scan + migrate next time) is strictly safer than a
+                # stale one; the orphaned sidecars go with it.
+                device.delete(MANIFEST_NAME)
+                for name in list(device.list_files()):
+                    if (name.startswith(MODEL_FILE_PREFIX)
+                            or name == MANIFEST_TMP_NAME):
+                        device.delete(name)
+        return db
+
+    def _recover_from_manifest(self, state) -> None:
+        """Materialise the replayed :class:`ManifestState`."""
+        # Oldest first so overlapping levels end up newest-first.
+        for number in sorted(state.files):
+            level, name = state.files[number]
+            if not self.device.exists(name):
+                raise CorruptionError(
+                    f"manifest references missing file {name} (#{number})")
+            table = Table.open(self.device, name, self.options, self.stats,
+                               self.cost)
+            self.version.add_file(level, FileMetaData(number=number,
+                                                      table=table))
+        self._seq = max(self._seq, state.last_seq)  # WAL may be ahead
+        self._file_counter = max(self._file_counter, state.next_file_number)
+        recovered_pointers: Dict[int, str] = {}
+        if self.level_models is not None:
+            for level in range(1, self.options.max_levels):
+                files = self.version.levels[level]
+                if not files:
+                    continue
+                sidecar = state.model_pointers.get(level)
+                payload = (self.model_store.load(sidecar)
+                           if self.model_store is not None else None)
+                if payload is not None:
+                    self.level_models.install(
+                        level, files, deserialize_index(payload), sidecar)
+                else:
+                    # Missing/corrupt sidecar: retrain this one level
+                    # and re-point the manifest at the fresh model.
+                    pointer = self.level_models.rebuild(level, files)
+                    if pointer:
+                        recovered_pointers[level] = pointer
+        if state.torn:
+            # Truncate the unreplayable tail *before* anything else is
+            # appended: a frame written after torn bytes would be
+            # invisible to every future replay, silently losing the
+            # commits of this whole session.  The snapshot also folds
+            # in any re-pointed models from the fallback retrains.
+            self.manifest.rewrite(self._snapshot_edit("repair"))
+        elif recovered_pointers:
+            edit = VersionEdit(kind="recover")
+            for level, pointer in recovered_pointers.items():
+                edit.point_model(level, pointer)
+            self.manifest.append(edit)
+        if self.level_models is not None:
+            self.level_models.drop_stale()
+        self._collect_garbage(state)
+
+    def _collect_garbage(self, state) -> None:
+        """Delete data/model files the manifest does not reference.
+
+        Only runs on the manifest path: a crash between writing new
+        files and committing the edit that references them (or between
+        a commit and the deletion of the files it obsoleted) leaves
+        orphans that must not survive into the recovered database.
+        """
+        live = state.live_names()
+        if self.level_models is not None:
+            live.update(name for name in (
+                self.level_models.persisted_pointer(level)
+                for level in range(self.options.max_levels)) if name)
+        for name in self.device.list_files():
+            if not (name.startswith("sst-")
+                    or name.startswith(MODEL_FILE_PREFIX)
+                    or name == MANIFEST_TMP_NAME):
+                continue
+            if name == MANIFEST_TMP_NAME or name not in live:
+                self.device.delete(name)
+                self.stats.add(RECOVERY_FILES_GCED)
+
+    def _recover_by_scan(self) -> None:
+        """The seed recovery path: open every ``sst-*`` on the device."""
+        options = self.options
+        names = sorted(name for name in self.device.list_files()
                        if name.startswith("sst-"))
         metas: List[FileMetaData] = []
-        max_seq = db._seq  # WAL replay may already have advanced it
+        max_seq = self._seq  # WAL replay may already have advanced it
         max_number = 0
         for name in names:
-            table = Table.open(device, name, options, db.stats, db.cost)
+            table = Table.open(self.device, name, options, self.stats,
+                               self.cost)
             number = int(name.split("-")[1])
             metas.append(FileMetaData(number=number, table=table))
             max_seq = max(max_seq, table.footer.max_seq)
             max_number = max(max_number, number)
         # Oldest first so overlapping levels end up newest-first.
         for meta in sorted(metas, key=lambda m: m.number):
-            db.version.add_file(meta.table.footer.level, meta)
-        db._seq = max_seq
-        db._file_counter = max_number
-        if db.level_models is not None:
+            self.version.add_file(meta.table.footer.level, meta)
+        self._seq = max_seq
+        self._file_counter = max_number
+        if self.level_models is not None:
             for level in range(1, options.max_levels):
-                files = db.version.levels[level]
-                for meta in files:
-                    db.level_models.register_keys(meta.table.name,
-                                                  meta.table.load_keys())
-                db.level_models.rebuild(level, files)
-        return db
+                self.level_models.rebuild(level, self.version.levels[level])
+
+    def _snapshot_edit(self, kind: str = "checkpoint") -> VersionEdit:
+        """One edit describing the complete current version."""
+        edit = VersionEdit(kind=kind, next_file_number=self._file_counter,
+                           last_seq=self._seq)
+        for level, meta in self.version.all_files():
+            edit.add_file(level, meta.number, meta.name)
+        if self.level_models is not None:
+            for level in range(1, self.options.max_levels):
+                pointer = self.level_models.persisted_pointer(level)
+                if pointer:
+                    edit.point_model(level, pointer)
+        return edit
+
+    def checkpoint(self) -> Dict[str, float]:
+        """Flush, then compact the manifest to a single snapshot edit.
+
+        After a checkpoint the entire recovery input is one memtable's
+        worth of WAL (empty), one snapshot record, the table footers
+        and the model sidecars — cold open does zero training and zero
+        data-block reads.  Returns a summary of what was persisted.
+        """
+        self._check_open()
+        self.flush()
+        summary: Dict[str, float] = {
+            "files": float(self.version.file_count()),
+            "manifest_bytes": 0.0,
+            "models_persisted": 0.0,
+        }
+        if self.manifest is None:
+            return summary
+        self.manifest.rewrite(self._snapshot_edit())
+        self.stats.charge(Stage.WRITE_PATH, self.cost.wal_commit_us)
+        summary["manifest_bytes"] = float(self.manifest.size_bytes())
+        if self.level_models is not None:
+            summary["models_persisted"] = float(sum(
+                1 for level in range(1, self.options.max_levels)
+                if self.level_models.persisted_pointer(level)))
+        return summary
 
     # -- plumbing ----------------------------------------------------------
 
@@ -162,7 +338,7 @@ class LSMTree:
 
     def _replay_wal(self) -> None:
         assert self.wal is not None
-        max_seq = 0
+        max_seq = self._seq
         for record in self.wal.replay():
             self.memtable.add(record)
             max_seq = max(max_seq, record.seq)
@@ -252,6 +428,16 @@ class LSMTree:
         else:
             table.release_keys()
         self.version.add_file(0, meta)
+        if self.manifest is not None:
+            # Commit the flush before the WAL resets: once the log is
+            # truncated, the manifest is the only durable record that
+            # this table exists.
+            edit = VersionEdit(kind="flush",
+                               next_file_number=self._file_counter,
+                               last_seq=self._seq)
+            edit.add_file(0, meta.number, meta.name)
+            self.manifest.append(edit)
+            self.stats.charge(Stage.WRITE_PATH, self.cost.wal_commit_us)
         self.memtable = MemTable(self.options.entry_bytes)
         if self.wal is not None:
             self.wal.reset()
@@ -330,6 +516,7 @@ class LSMTree:
         per_table = self.options.entries_per_sstable
         per_file_index = (self.level_models is None or level == 0)
         factory = self.index_factory if per_file_index else None
+        added: List[FileMetaData] = []
         for start in range(0, len(sorted_keys), per_table):
             chunk = sorted_keys[start:start + per_table]
             builder = TableBuilder(self.device, self._next_file_name(),
@@ -345,8 +532,23 @@ class LSMTree:
             else:
                 table.release_keys()
             self.version.add_file(level, meta)
+            added.append(meta)
+        pointer = None
         if self.level_models is not None and level >= 1:
-            self.level_models.rebuild(level, self.version.levels[level])
+            pointer = self.level_models.rebuild(level,
+                                                self.version.levels[level])
+        if self.manifest is not None:
+            edit = VersionEdit(kind="ingest",
+                               next_file_number=self._file_counter,
+                               last_seq=self._seq)
+            for meta in added:
+                edit.add_file(level, meta.number, meta.name)
+            if pointer is not None:
+                edit.point_model(level, pointer)
+            self.manifest.append(edit)
+            self.stats.charge(Stage.WRITE_PATH, self.cost.wal_commit_us)
+            if self.level_models is not None:
+                self.level_models.drop_stale()
 
     # -- read path ----------------------------------------------------------
 

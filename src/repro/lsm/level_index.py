@@ -20,10 +20,10 @@ from __future__ import annotations
 from bisect import bisect_right
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import IndexBuildError
 from repro.indexes.base import ClusteredIndex, SearchBound
 from repro.indexes.registry import IndexFactory
 from repro.lsm.version import FileMetaData
+from repro.persist.models import ModelStore
 from repro.storage.cost_model import CostModel
 from repro.storage.stats import TRAIN_KEY_VISITS, Stage, Stats
 
@@ -65,22 +65,38 @@ class LevelModel:
 
 
 class LevelModelManager:
-    """Builds and caches one :class:`LevelModel` per level.
+    """Builds, persists and caches one :class:`LevelModel` per level.
 
     Table builders hand over their in-memory key arrays at build time
     (`register_keys`); a level rebuild concatenates the arrays of the
     level's current files, so retraining never re-reads the device.
+    Files opened by recovery have no registered array — their keys are
+    pulled lazily through :meth:`Table.load_keys` (one device read per
+    table, cached) only if a post-recovery rebuild actually needs them.
     Training cost is still charged through the normal stages, making
     level-model retraining visible in Figure 9's breakdown.
+
+    With a :class:`~repro.persist.models.ModelStore`, every freshly
+    trained model is also serialized to an ``mdl-*`` sidecar; the
+    returned sidecar name goes into the manifest edit that commits the
+    retrain, and the superseded sidecar is retired only after that edit
+    is durable (:meth:`drop_stale`), keeping every replayable manifest
+    prefix pointed at an existing file.
     """
 
     def __init__(self, factory: IndexFactory, stats: Stats,
-                 cost: CostModel) -> None:
+                 cost: CostModel,
+                 model_store: Optional[ModelStore] = None) -> None:
         self.factory = factory
         self.stats = stats
         self.cost = cost
+        self.model_store = model_store
         self._models: Dict[int, LevelModel] = {}
         self._keys: Dict[str, Sequence[int]] = {}
+        #: level -> live sidecar name (only with a model store).
+        self._persisted: Dict[int, str] = {}
+        #: superseded sidecars awaiting deletion after the next commit.
+        self._stale: List[str] = []
 
     # -- key bookkeeping ---------------------------------------------------
 
@@ -92,31 +108,82 @@ class LevelModelManager:
         """Drop the key array of a deleted table."""
         self._keys.pop(file_name, None)
 
+    def _keys_for(self, meta: FileMetaData) -> Sequence[int]:
+        keys = self._keys.get(meta.name)
+        if keys is None:
+            keys = meta.table.load_keys()
+            self._keys[meta.name] = keys
+        return keys
+
     # -- model lifecycle -----------------------------------------------------
 
-    def rebuild(self, level: int, files: List[FileMetaData]) -> None:
-        """Retrain the model for ``level`` over its current files."""
+    def rebuild(self, level: int,
+                files: List[FileMetaData]) -> Optional[str]:
+        """Retrain the model for ``level`` over its current files.
+
+        Returns the manifest model-pointer value for the level: the new
+        sidecar's name, ``""`` when the level emptied (invalidating any
+        persisted model), or ``None`` when no model store is attached
+        (nothing to record).
+        """
         if not files:
             self._models.pop(level, None)
-            return
+            if self.model_store is None:
+                return None
+            self._retire(level)
+            return ""
         ordered = sorted(files, key=lambda meta: meta.min_key)
         merged: List[int] = []
         for meta in ordered:
-            keys = self._keys.get(meta.name)
-            if keys is None:
-                raise IndexBuildError(
-                    f"no cached keys for {meta.name}; level model rebuilds "
-                    "require key registration at build time")
-            merged.extend(keys)
+            merged.extend(self._keys_for(meta))
         index = self.factory.create()
         index.build(merged)
         self.stats.add(TRAIN_KEY_VISITS, index.train_key_visits)
         self.stats.charge(Stage.COMPACT_TRAIN,
                           self.cost.train_us(index.train_key_visits))
-        payload_len = len(index.serialize())
+        payload = index.serialize()
         self.stats.charge(Stage.COMPACT_WRITE_MODEL,
-                          self.cost.model_write_us(payload_len))
+                          self.cost.model_write_us(len(payload)))
         self._models[level] = LevelModel(ordered, index)
+        if self.model_store is None:
+            return None
+        self._retire(level)
+        name = self.model_store.save(level, payload)
+        self._persisted[level] = name
+        return name
+
+    def install(self, level: int, files: List[FileMetaData],
+                index: ClusteredIndex,
+                sidecar: Optional[str] = None) -> None:
+        """Adopt a deserialized model for ``level`` without training.
+
+        The recovery path: ``index`` came out of a persisted sidecar
+        that the manifest declared current for exactly this file set,
+        so the concatenated key order it was trained over is the one
+        ``files`` (sorted by key) spans.
+        """
+        ordered = sorted(files, key=lambda meta: meta.min_key)
+        self._models[level] = LevelModel(ordered, index)
+        if sidecar is not None:
+            self._persisted[level] = sidecar
+
+    def _retire(self, level: int) -> None:
+        old = self._persisted.pop(level, None)
+        if old is not None:
+            self._stale.append(old)
+
+    def drop_stale(self) -> None:
+        """Delete superseded sidecars (call after the edit committed)."""
+        if self.model_store is None:
+            self._stale.clear()
+            return
+        for name in self._stale:
+            self.model_store.delete(name)
+        self._stale.clear()
+
+    def persisted_pointer(self, level: int) -> Optional[str]:
+        """The live sidecar name for ``level`` (None when not persisted)."""
+        return self._persisted.get(level)
 
     def model_for(self, level: int) -> Optional[LevelModel]:
         """The current model of ``level`` (None when level is empty)."""

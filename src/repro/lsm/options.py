@@ -93,6 +93,13 @@ class Options:
     #: Write-ahead logging (off by default: benchmarks measure the
     #: paper's pipeline, which does not fsync a WAL per write).
     enable_wal: bool = False
+    #: Maintain the MANIFEST version-edit log (see :mod:`repro.persist`).
+    #: On: every flush/compaction/ingest commits an atomic version edit,
+    #: level-granularity models persist to ``mdl-*`` sidecars, and
+    #: ``reopen`` replays the manifest instead of scanning the device —
+    #: zero index training on restart.  Off: the seed behaviour (recover
+    #: by directory scan, retrain level models).
+    enable_manifest: bool = True
     #: LRU block-cache capacity in bytes (0 disables caching).  When
     #: positive the database wraps its device in a
     #: :class:`~repro.storage.block_cache.CachedBlockDevice`, so hot

@@ -231,18 +231,30 @@ class Table:
     @classmethod
     def open(cls, device: BlockDevice, name: str, options: Options,
              stats: Stats, cost: CostModel) -> "Table":
-        """Open a table from the device (recovery path)."""
+        """Open a table from the device (recovery path).
+
+        The embedded index payload is *deserialized*, never retrained —
+        per-table models pay their training cost exactly once, at build
+        time.  The footer, index and bloom reads are charged to the
+        RECOVERY stage so cold-open experiments can report them.
+        """
         size = device.size(name)
         if size < FOOTER_BYTES:
             raise CorruptionError(f"table {name} too small for a footer")
         footer = TableFooter.unpack(
             device.pread(name, size - FOOTER_BYTES, FOOTER_BYTES))
+        stats.charge(Stage.RECOVERY, cost.read_us(
+            cost.blocks_spanned(size - FOOTER_BYTES, FOOTER_BYTES)))
         index = None
         if footer.index_len:
             payload = device.pread(name, footer.index_offset, footer.index_len)
             index = deserialize_index(payload)
+            stats.charge(Stage.RECOVERY, cost.read_us(
+                cost.blocks_spanned(footer.index_offset, footer.index_len)))
         bloom = BloomFilter.deserialize(
             device.pread(name, footer.bloom_offset, footer.bloom_len))
+        stats.charge(Stage.RECOVERY, cost.read_us(
+            cost.blocks_spanned(footer.bloom_offset, footer.bloom_len)))
         return cls(device=device, name=name, options=options, stats=stats,
                    cost=cost, footer=footer, index=index, bloom=bloom)
 
@@ -251,20 +263,23 @@ class Table:
         self.cached_keys = None
 
     def load_keys(self) -> List[int]:
-        """Read the sorted key array back from the device.
+        """The sorted key array, read from the device at most once.
 
-        Used by recovery when level models must be rebuilt; charges the
-        read as compaction input.
+        The first call pays one sequential read of the data segment
+        (charged as compaction input, since key reloads only happen on
+        behalf of level-model rebuilds); the result is cached and every
+        later call — the level-model manager, a second rebuild of an
+        adjacent level touching the same file — returns the same list
+        without touching the device again.  Callers must treat the
+        returned list as read-only.
         """
-        if self.cached_keys is not None:
-            return list(self.cached_keys)
-        entry_bytes = self.footer.entry_bytes
-        data = self.read_entries(0, self.footer.entry_count,
-                                 Stage.COMPACT_READ)
-        keys = [decode_key(data, i * entry_bytes)
-                for i in range(self.footer.entry_count)]
-        self.cached_keys = keys
-        return list(keys)
+        if self.cached_keys is None:
+            entry_bytes = self.footer.entry_bytes
+            data = self.read_entries(0, self.footer.entry_count,
+                                     Stage.COMPACT_READ)
+            self.cached_keys = [decode_key(data, i * entry_bytes)
+                                for i in range(self.footer.entry_count)]
+        return self.cached_keys
 
     def close(self) -> None:
         """Delete the backing file (called when the table is obsolete)."""

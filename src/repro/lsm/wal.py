@@ -15,15 +15,14 @@ entire batch, never a prefix of it.
 from __future__ import annotations
 
 import struct
-import zlib
 from typing import Iterator, List, Sequence
 
 from repro.errors import CorruptionError
 from repro.lsm.record import Record
+from repro.storage.framing import frame, parse_frames
 from repro.storage.stats import WAL_GROUP_COMMITS, WAL_RECORDS_APPENDED
 from repro.storage.block_device import BlockDevice
 
-_FRAME_HEADER = struct.Struct("<II")  # crc32, payload length
 _PAYLOAD_HEADER = struct.Struct("<QQI")  # key, seq<<8|kind, value length
 
 
@@ -73,9 +72,7 @@ class WriteAheadLog:
         if not records:
             return
         payload = b"".join(_encode_record(record) for record in records)
-        crc = zlib.crc32(payload)
-        self.device.append(self.name, _FRAME_HEADER.pack(crc, len(payload))
-                           + payload)
+        self.device.append(self.name, frame(payload))
         self.device.stats.add(WAL_GROUP_COMMITS)
         self.device.stats.add(WAL_RECORDS_APPENDED, len(records))
 
@@ -88,18 +85,9 @@ class WriteAheadLog:
         """
         data = self.device.pread_uncached(self.name, 0,
                                           self.device.size(self.name))
-        offset = 0
-        while offset + _FRAME_HEADER.size <= len(data):
-            crc, length = _FRAME_HEADER.unpack_from(data, offset)
-            start = offset + _FRAME_HEADER.size
-            end = start + length
-            if end > len(data):
-                return  # torn tail
-            payload = data[start:end]
-            if zlib.crc32(payload) != crc:
-                return  # corrupt tail
+        payloads, _ = parse_frames(data)  # torn tail dropped silently
+        for payload in payloads:
             yield from _decode_records(payload)
-            offset = end
 
     def replay_all(self) -> List[Record]:
         """Eager version of :meth:`replay`."""

@@ -1,0 +1,43 @@
+"""Durable persistence: the MANIFEST version log and model sidecars.
+
+The paper's testbed never restarts mid-experiment, so the seed engine
+recovered by rescanning every ``sst-*`` file and retraining all learned
+indexes — an O(data · retrain) restart.  This package converts recovery
+to O(manifest):
+
+* :class:`~repro.persist.manifest.Manifest` — an append-only,
+  CRC-framed *version-edit log* (LevelDB's MANIFEST, scaled to this
+  engine).  Every flush, compaction and bulk ingest appends one atomic
+  :class:`~repro.persist.manifest.VersionEdit`; replay with torn-tail
+  tolerance reconstructs the exact live file layout without touching a
+  single data block.
+* :class:`~repro.persist.models.ModelStore` — durable learned-index
+  model files (``mdl-*`` sidecars, written via the type-tagged
+  :mod:`repro.indexes.codec` payloads).  Per-table models are already
+  embedded in their table files; the sidecars give *level-granularity*
+  models — which previously had no on-disk home and were retrained from
+  a full key reload on every open — the same pay-training-once
+  lifecycle.
+
+:meth:`repro.lsm.db.LSMTree.reopen` consumes both: when a manifest is
+present, recovery opens exactly the files it names, deserialises models
+instead of retraining them, and garbage-collects anything a crash left
+behind.
+"""
+
+from repro.persist.manifest import (
+    MANIFEST_NAME,
+    Manifest,
+    ManifestState,
+    VersionEdit,
+)
+from repro.persist.models import MODEL_FILE_PREFIX, ModelStore
+
+__all__ = [
+    "MANIFEST_NAME",
+    "Manifest",
+    "ManifestState",
+    "VersionEdit",
+    "MODEL_FILE_PREFIX",
+    "ModelStore",
+]

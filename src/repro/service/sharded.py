@@ -60,12 +60,16 @@ class ShardedDB:
 
     @classmethod
     def reopen(cls, num_shards: int, options: Options,
-               devices: Sequence[BlockDevice]) -> "ShardedDB":
+               devices: Sequence[BlockDevice], *,
+               use_manifest: Optional[bool] = None) -> "ShardedDB":
         """Rebuild every shard from its device (crash recovery).
 
-        Each shard recovers independently — SSTables from their footers,
-        surviving WAL records into the memtable — exactly like
-        :meth:`repro.lsm.db.LSMTree.reopen` for a single tree.
+        Each shard recovers *independently* from its own MANIFEST
+        version log (or by directory scan where none survives) plus its
+        own WAL — exactly like :meth:`repro.lsm.db.LSMTree.reopen` for
+        a single tree.  Because manifests are per-shard, a torn or
+        corrupt log on one shard degrades only that shard's recovery;
+        the others still restore their persisted models untouched.
         """
         if len(devices) != num_shards:
             raise InvalidOptionError(
@@ -73,7 +77,9 @@ class ShardedDB:
         db = cls.__new__(cls)
         db.router = HashRouter(num_shards)
         db.options = options
-        db.shards = [LSMTree.reopen(options, device) for device in devices]
+        db.shards = [LSMTree.reopen(options, device,
+                                    use_manifest=use_manifest)
+                     for device in devices]
         return db
 
     # -- routing -------------------------------------------------------
@@ -158,6 +164,20 @@ class ShardedDB:
         """Run compactions on every shard until capacities are met."""
         for shard in self.shards:
             shard.maybe_compact()
+
+    def checkpoint(self) -> Dict[str, float]:
+        """Checkpoint every shard; returns aggregated persistence totals.
+
+        Each shard flushes its memtable and compacts its MANIFEST to a
+        single snapshot edit, so a subsequent
+        :meth:`reopen` replays one record per shard and deserializes
+        every persisted model — zero training across the whole fleet.
+        """
+        total: Dict[str, float] = {}
+        for shard in self.shards:
+            for name, value in shard.checkpoint().items():
+                total[name] = total.get(name, 0.0) + value
+        return total
 
     def close(self) -> None:
         """Release every shard."""

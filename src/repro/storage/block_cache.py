@@ -240,6 +240,11 @@ class CachedBlockDevice(BlockDevice):
         self.cache.invalidate_file(name)
         self.inner.delete(name)
 
+    def rename(self, src: str, dst: str) -> None:
+        self.cache.invalidate_file(src)
+        self.cache.invalidate_file(dst)
+        self.inner.rename(src, dst)
+
     def size(self, name: str) -> int:
         return self.inner.size(name)
 

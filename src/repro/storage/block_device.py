@@ -89,6 +89,16 @@ class BlockDevice(ABC):
         """Remove ``name``; missing files raise."""
 
     @abstractmethod
+    def rename(self, src: str, dst: str) -> None:
+        """Atomically move ``src`` over ``dst`` (replacing it).
+
+        The atomic-replace semantics (POSIX ``rename``) are what the
+        manifest rewrite relies on for crash safety: observers see
+        either the old ``dst`` or the complete new one, never a
+        partial file.
+        """
+
+    @abstractmethod
     def exists(self, name: str) -> bool:
         """True when ``name`` is present on the device."""
 
@@ -194,6 +204,12 @@ class MemoryBlockDevice(BlockDevice):
         except KeyError:
             raise FileNotFoundInDeviceError(name) from None
 
+    def rename(self, src: str, dst: str) -> None:
+        try:
+            self._files[dst] = self._files.pop(src)
+        except KeyError:
+            raise FileNotFoundInDeviceError(src) from None
+
     def exists(self, name: str) -> bool:
         return name in self._files
 
@@ -258,6 +274,12 @@ class FileBlockDevice(BlockDevice):
         if not os.path.exists(path):
             raise FileNotFoundInDeviceError(name)
         os.remove(path)
+
+    def rename(self, src: str, dst: str) -> None:
+        src_path = self._path(src)
+        if not os.path.exists(src_path):
+            raise FileNotFoundInDeviceError(src)
+        os.replace(src_path, self._path(dst))
 
     def exists(self, name: str) -> bool:
         return os.path.exists(self._path(name))

@@ -53,6 +53,11 @@ class Stage(str, enum.Enum):
     COMPACT_WRITE_MODEL = "compact_write_model"
     #: Sequential scan work beyond the initial seek (range lookups).
     SCAN = "scan"
+    #: Cold-open work: manifest replay, table footer/index/bloom loads,
+    #: model sidecar reads.  Deliberately outside READ_STAGES and
+    #: COMPACTION_STAGES — restart cost is its own axis (the recovery
+    #: experiment reads it directly).
+    RECOVERY = "recovery"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -238,3 +243,13 @@ COMPACT_BYTES_IN = "compaction.bytes_in"
 COMPACT_BYTES_OUT = "compaction.bytes_out"
 TRAIN_KEY_VISITS = "train.key_visits"
 MODEL_BYTES_WRITTEN = "train.model_bytes_written"
+MANIFEST_EDITS = "manifest.edits_appended"
+MANIFEST_EDITS_REPLAYED = "manifest.edits_replayed"
+MANIFEST_SNAPSHOTS = "manifest.snapshots_written"
+MANIFEST_TORN_TAILS = "manifest.torn_tails"
+MODELS_PERSISTED = "persist.models_written"
+MODELS_LOADED = "persist.models_loaded"
+MODEL_BYTES_PERSISTED = "persist.model_bytes_written"
+RECOVERY_MANIFEST_OPENS = "recovery.manifest_opens"
+RECOVERY_SCANS = "recovery.directory_scans"
+RECOVERY_FILES_GCED = "recovery.files_gced"

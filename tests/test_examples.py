@@ -14,6 +14,7 @@ _EXAMPLES = [
     "per_level_boundaries.py",
     "trace_replay.py",
     "sharded_service.py",
+    "checkpoint_restore.py",
 ]
 
 _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))

@@ -19,6 +19,7 @@ from repro.indexes.registry import ALL_KINDS, IndexKind
 from repro.lsm.db import LSMTree
 from repro.lsm.options import CompactionPolicy, small_test_options
 from repro.lsm.record import decode_key
+from repro.persist.manifest import MANIFEST_NAME
 
 
 def _run_workload(db, seed, n_ops=1500):
@@ -73,9 +74,11 @@ def test_invariants_after_fuzz(kind):
         assert (db.version.level_data_bytes(level)
                 <= options.level_capacity_bytes(level))
 
-    # Device holds exactly the live files.
+    # Device holds exactly the live files plus the persistence layer
+    # (the MANIFEST version log; model sidecars only exist under level
+    # granularity, which this fuzz does not run).
     live_files = {meta.name for _, meta in db.version.all_files()}
-    assert set(db.device.list_files()) == live_files
+    assert set(db.device.list_files()) == live_files | {MANIFEST_NAME}
 
     # Per-table structural audit.
     _audit_tables(db)

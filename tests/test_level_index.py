@@ -1,8 +1,5 @@
 """Tests for the level-granularity model manager."""
 
-import pytest
-
-from repro.errors import IndexBuildError
 from repro.indexes.registry import IndexFactory, IndexKind
 from repro.lsm.level_index import LevelModelManager
 from repro.lsm.options import small_test_options
@@ -11,7 +8,7 @@ from repro.lsm.sstable import TableBuilder
 from repro.lsm.version import FileMetaData
 from repro.storage.block_device import MemoryBlockDevice
 from repro.storage.cost_model import CostModel
-from repro.storage.stats import Stage, Stats
+from repro.storage.stats import BLOCKS_READ, Stage, Stats
 
 
 def _make_files(chunks):
@@ -92,9 +89,18 @@ def test_rebuild_charges_training():
     assert stats.stage_time(Stage.COMPACT_WRITE_MODEL) > 0
 
 
-def test_missing_key_registration_raises():
+def test_unregistered_keys_reload_lazily_exactly_once():
+    # Recovery opens tables without registered key arrays; a rebuild
+    # must pull them from the device — one read per table, cached.
     chunks = [list(range(100))]
-    manager, files, _ = _make_files(chunks)
+    manager, files, stats = _make_files(chunks)
     manager.forget_keys(files[0].name)
-    with pytest.raises(IndexBuildError):
-        manager.rebuild(1, files)
+    files[0].table.release_keys()
+    before = stats.get(BLOCKS_READ)
+    manager.rebuild(1, files)
+    assert stats.get(BLOCKS_READ) > before, "expected a lazy key reload"
+    assert manager.model_for(1) is not None
+    # The reloaded array is cached: a second rebuild reads nothing.
+    before = stats.get(BLOCKS_READ)
+    manager.rebuild(1, files)
+    assert stats.get(BLOCKS_READ) == before
