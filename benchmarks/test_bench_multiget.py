@@ -1,0 +1,10 @@
+"""Benchmark: MultiGet study (batched reads, coalesced segments)."""
+
+from conftest import assert_checks, run_once
+
+from repro.bench.experiments import multiget_study
+
+
+def test_multiget_study(benchmark, bench_scale):
+    result = run_once(benchmark, multiget_study.run, scale=bench_scale)
+    assert_checks(result)

@@ -19,6 +19,7 @@ from repro.bench.experiments import (
     fig11_range_lookup,
     fig12_ycsb,
     hardware_study,
+    multiget_study,
     recovery_study,
     service_study,
     table1_stage_times,
@@ -41,6 +42,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     tiering_study.EXPERIMENT_ID: tiering_study.run,
     hardware_study.EXPERIMENT_ID: hardware_study.run,
     service_study.EXPERIMENT_ID: service_study.run,
+    multiget_study.EXPERIMENT_ID: multiget_study.run,
     recovery_study.EXPERIMENT_ID: recovery_study.run,
 }
 
@@ -59,6 +61,7 @@ TITLES: Dict[str, str] = {
     tiering_study.EXPERIMENT_ID: tiering_study.TITLE,
     hardware_study.EXPERIMENT_ID: hardware_study.TITLE,
     service_study.EXPERIMENT_ID: service_study.TITLE,
+    multiget_study.EXPERIMENT_ID: multiget_study.TITLE,
     recovery_study.EXPERIMENT_ID: recovery_study.TITLE,
 }
 

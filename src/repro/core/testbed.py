@@ -167,6 +167,21 @@ class Testbed:
             get(key)
         return self._phase(before, len(keys))
 
+    def run_multi_get(self, keys: Sequence[int], batch_size: int,
+                      coalesce: bool = True) -> PhaseMetrics:
+        """Execute point lookups in ``batch_size`` MultiGet batches.
+
+        The same key stream as :meth:`run_point_lookups`, drained
+        through :meth:`~repro.lsm.db.LSMTree.multi_get` instead of one
+        ``get`` per key; compare the two phases' metrics to see what a
+        batch amortizes.
+        """
+        before = self.db.stats.snapshot()
+        multi_get = self.db.multi_get
+        for start in range(0, len(keys), batch_size):
+            multi_get(keys[start:start + batch_size], coalesce=coalesce)
+        return self._phase(before, len(keys))
+
     def run_range_lookups(self, start_keys: Sequence[int],
                           length: int) -> PhaseMetrics:
         """Execute fixed-length scans from each start key."""
@@ -199,17 +214,22 @@ class Testbed:
                             counters=dict(delta.counters))
 
     def run_ycsb(self, workload: YCSBWorkload, n_ops: int,
-                 write_batch_size: int = 1) -> PhaseMetrics:
+                 write_batch_size: int = 1,
+                 read_batch_size: int = 1) -> PhaseMetrics:
         """Execute a YCSB operation stream; returns whole-phase metrics.
 
         ``write_batch_size > 1`` groups consecutive updates/inserts
-        into :class:`~repro.lsm.write_batch.WriteBatch` group commits
-        (see :func:`repro.workloads.ycsb.replay`).
+        into :class:`~repro.lsm.write_batch.WriteBatch` group commits;
+        ``read_batch_size > 1`` mirrors it on the read side, draining
+        consecutive READs through one
+        :meth:`~repro.lsm.db.LSMTree.multi_get` per batch (see
+        :func:`repro.workloads.ycsb.replay`).
         """
         before = self.db.stats.snapshot()
         db = self.db
         replay(db, workload.operations(n_ops), self.value_for,
-               write_batch_size=write_batch_size)
+               write_batch_size=write_batch_size,
+               read_batch_size=read_batch_size)
         delta = before.delta(db.stats)
         stage_us = {stage.value: us for stage, us in delta.stage_us.items()}
         return PhaseMetrics(ops=n_ops,

@@ -19,7 +19,7 @@ breakdown is a direct read-out.
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import DatabaseClosedError, InvalidOptionError
 from repro.lsm.compaction import CompactionOutcome, Compactor
@@ -59,6 +59,8 @@ from repro.storage.stats import (
     BLOOM_NEGATIVES,
     BLOOM_PROBES,
     FLUSHES,
+    MULTIGET_BATCHES,
+    MULTIGET_KEYS,
     POINT_LOOKUPS,
     RANGE_LOOKUPS,
     RECOVERY_FILES_GCED,
@@ -561,14 +563,159 @@ class LSMTree:
             return None
         return record.value
 
-    def _get_record(self, key: int) -> Optional[Record]:
-        # Memtable first (newest data).
+    def multi_get(self, keys: Sequence[int],
+                  coalesce: Optional[bool] = None) -> List[Optional[bytes]]:
+        """Batched point lookups; results in request order.
+
+        Equivalent to ``[self.get(k) for k in keys]`` but the batch
+        amortizes every shareable cost along Figure 1(C)'s pipeline:
+
+        * the batch is sorted and deduplicated up front, so duplicate
+          keys are looked up once;
+        * the memtable is probed per key but the skip-list descent is
+          charged once per batch (an ascending probe sequence keeps the
+          upper levels hot);
+        * each level is walked with the *whole* remaining key set —
+          one file-range binary search per level (not per key), one
+          bloom pass per ``(table, keys)`` group;
+        * overlapping/adjacent predicted segments of one table coalesce
+          into a single pread charging one seek plus sequential blocks
+          (:meth:`~repro.lsm.sstable.Table.multi_get_in_bounds`).
+
+        ``coalesce`` overrides ``options.multiget_coalesce`` for one
+        call (the ``multiget`` experiment's control arm).
+        """
+        self._check_open()
+        if not keys:
+            return []
+        if coalesce is None:
+            coalesce = self.options.multiget_coalesce
+        self.stats.add(POINT_LOOKUPS, len(keys))
+        self.stats.add(MULTIGET_BATCHES)
+        self.stats.add(MULTIGET_KEYS, len(keys))
+        unique = sorted(set(keys))
+        resolved: Dict[int, Record] = {}
+        if not self.memtable.is_empty():
+            # One descent charge per batch run, not per key.
+            self.stats.charge(
+                Stage.TABLE_LOOKUP,
+                self.cost.index_compare_us * self.memtable.comparison_depth())
+            resolved.update(self.memtable.get_many(unique))
+        remaining = [key for key in unique if key not in resolved]
+        for level in range(self.options.max_levels):
+            if not remaining:
+                break
+            if not self.version.levels[level]:
+                continue
+            before = self.stats.read_time()
+            found = self._search_level_batch(level, remaining, coalesce)
+            elapsed = self.stats.read_time() - before
+            self._level_read_us[level] = (
+                self._level_read_us.get(level, 0.0) + elapsed)
+            self._level_read_ops[level] = (
+                self._level_read_ops.get(level, 0) + len(remaining))
+            if found:
+                resolved.update(found)
+                remaining = [key for key in remaining if key not in found]
+        return [None if (record := resolved.get(key)) is None
+                or record.is_tombstone else record.value for key in keys]
+
+    def _search_level_batch(self, level: int, keys: List[int],
+                            coalesce: bool) -> Dict[int, Record]:
+        """Search one level for a sorted key batch; ``{key: record}``."""
+        if self.level_models is not None and level >= 1:
+            return self._search_level_model_batch(level, keys, coalesce)
+        found: Dict[int, Record] = {}
+        if self._level_overlapping(level):
+            # Newest file first; a key found in a newer file must not be
+            # probed in older ones (its newer version wins).  The
+            # file-range walk is charged once per batch, not per file.
+            if level >= 1:
+                self.stats.charge(
+                    Stage.TABLE_LOOKUP,
+                    self.cost.binary_search_us(
+                        max(1, self.version.file_count(level)))
+                    + self.cost.index_compare_us * max(0, len(keys) - 1))
+            unresolved = keys
+            for meta in self.version.levels[level]:
+                if not unresolved:
+                    break
+                candidates = [key for key in unresolved
+                              if meta.min_key <= key <= meta.max_key]
+                hits = self._probe_table_batch(meta.table, candidates,
+                                               coalesce)
+                if hits:
+                    found.update(hits)
+                    unresolved = [key for key in unresolved
+                                  if key not in hits]
+            return found
+        # Single sorted run: one merge walk assigns every key its file.
+        files = self.version.levels[level]
         self.stats.charge(
             Stage.TABLE_LOOKUP,
-            self.cost.index_compare_us * self.memtable.comparison_depth())
-        hit = self.memtable.get(key)
-        if hit is not None:
-            return hit
+            self.cost.binary_search_us(max(1, len(files)))
+            + self.cost.index_compare_us * max(0, len(keys) - 1))
+        file_idx = 0
+        grouped: Dict[int, List[int]] = {}
+        for key in keys:
+            while file_idx < len(files) and files[file_idx].max_key < key:
+                file_idx += 1
+            if file_idx >= len(files):
+                break
+            if files[file_idx].min_key <= key:
+                grouped.setdefault(file_idx, []).append(key)
+        for idx, group in grouped.items():
+            found.update(self._probe_table_batch(files[idx].table, group,
+                                                 coalesce))
+        return found
+
+    def _level_overlapping(self, level: int) -> bool:
+        return level == 0 or (self.options.compaction_policy
+                              is CompactionPolicy.TIERING)
+
+    def _probe_table_batch(self, table: Table, candidates: List[int],
+                           coalesce: bool) -> Dict[int, Record]:
+        """One bloom pass then one coalesced multi-read for a table."""
+        admitted = [key for key in candidates
+                    if self._bloom_admits(table, key)]
+        if not admitted:
+            return {}
+        hits = table.multi_get(admitted, coalesce=coalesce)
+        misses = len(admitted) - len(hits)
+        if misses:
+            self.stats.add(BLOOM_FALSE_POSITIVES, misses)
+        return hits
+
+    def _search_level_model_batch(self, level: int, keys: List[int],
+                                  coalesce: bool) -> Dict[int, Record]:
+        assert self.level_models is not None
+        found: Dict[int, Record] = {}
+        for meta, items in self.level_models.lookup_batch(level, keys):
+            admitted = [
+                (key, bound) for key, bound in items
+                if key not in found
+                and meta.table.key_range_contains(key)
+                and self._bloom_admits(meta.table, key)]
+            if not admitted:
+                continue
+            hits = meta.table.multi_get_in_bounds(admitted,
+                                                  coalesce=coalesce)
+            misses = len(admitted) - len(hits)
+            if misses:
+                self.stats.add(BLOOM_FALSE_POSITIVES, misses)
+            found.update(hits)
+        return found
+
+    def _get_record(self, key: int) -> Optional[Record]:
+        # Memtable first (newest data); an empty buffer costs nothing —
+        # no probe, no descent charge.
+        if not self.memtable.is_empty():
+            self.stats.charge(
+                Stage.TABLE_LOOKUP,
+                self.cost.index_compare_us * self.memtable.comparison_depth())
+            hit = self.memtable.get(key)
+            if hit is not None:
+                return hit
         for level in range(self.options.max_levels):
             if not self.version.levels[level]:
                 continue

@@ -42,10 +42,16 @@ class LevelModel:
             total += meta.entry_count
         self.total_entries = total
 
-    def lookup(self, key: int) -> List[Tuple[FileMetaData, SearchBound]]:
-        """Per-file bounds covering the global predicted range for ``key``."""
+    def _split_bound(self, key: int) -> List[Tuple[int, SearchBound]]:
+        """Translate ``key``'s global predicted bound into per-file bounds.
+
+        Yields ``(file_index, file-local bound)`` pairs; a bound that
+        straddles a file boundary produces one pair per file touched.
+        Both the single-key and batched lookups share this translation,
+        so they cannot diverge.
+        """
         bound = self.index.lookup(key)
-        out: List[Tuple[FileMetaData, SearchBound]] = []
+        out: List[Tuple[int, SearchBound]] = []
         first = max(0, bisect_right(self.starts, bound.lo) - 1)
         for i in range(first, len(self.files)):
             file_lo = self.starts[i]
@@ -53,11 +59,32 @@ class LevelModel:
             lo = max(bound.lo, file_lo)
             hi = min(bound.hi, file_hi)
             if lo < hi:
-                out.append((self.files[i],
-                            SearchBound(lo - file_lo, hi - file_lo)))
+                out.append((i, SearchBound(lo - file_lo, hi - file_lo)))
             if file_hi >= bound.hi:
                 break
         return out
+
+    def lookup(self, key: int) -> List[Tuple[FileMetaData, SearchBound]]:
+        """Per-file bounds covering the global predicted range for ``key``."""
+        return [(self.files[i], bound)
+                for i, bound in self._split_bound(key)]
+
+    def lookup_batch(
+            self, keys: Sequence[int],
+    ) -> List[Tuple[FileMetaData, List[Tuple[int, SearchBound]]]]:
+        """Per-file ``(key, bound)`` groups for a sorted key batch.
+
+        Every key pays its own model evaluation, but the resulting
+        per-file bounds are grouped so the caller can issue one bloom
+        pass and one coalesced read per table instead of one per key.
+        Groups are returned in file order; a key whose global bound
+        straddles a file boundary appears in both files' groups.
+        """
+        groups: Dict[int, List[Tuple[int, SearchBound]]] = {}
+        for key in keys:
+            for i, bound in self._split_bound(key):
+                groups.setdefault(i, []).append((key, bound))
+        return [(self.files[i], groups[i]) for i in sorted(groups)]
 
     def size_bytes(self) -> int:
         """Serialized model footprint."""
@@ -198,6 +225,23 @@ class LevelModelManager:
         self.stats.charge(Stage.PREDICTION,
                           model.index.expected_lookup_cost_us(self.cost))
         return model.lookup(key)
+
+    def lookup_batch(
+            self, level: int, keys: Sequence[int],
+    ) -> List[Tuple[FileMetaData, List[Tuple[int, SearchBound]]]]:
+        """Per-file ``(key, bound)`` groups for a sorted batch at ``level``.
+
+        Charges one prediction per key (model evaluations do not
+        amortize across a batch) and returns
+        :meth:`LevelModel.lookup_batch`'s file-grouped bounds.
+        """
+        model = self._models.get(level)
+        if model is None:
+            return []
+        self.stats.charge(
+            Stage.PREDICTION,
+            model.index.expected_lookup_cost_us(self.cost) * len(keys))
+        return model.lookup_batch(keys)
 
     def memory_bytes(self, level: Optional[int] = None) -> int:
         """Model memory for one level or all levels."""

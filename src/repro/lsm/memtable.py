@@ -14,7 +14,7 @@ deterministic RNG so tests and benchmarks replay identically.
 from __future__ import annotations
 
 import random
-from typing import Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional
 
 from repro.lsm.record import Record
 
@@ -87,6 +87,21 @@ class MemTable:
         if node is not None and node.key == key:
             return node.record
         return None
+
+    def get_many(self, sorted_keys: Iterable[int]) -> Dict[int, Record]:
+        """Records for every present key of an ascending batch.
+
+        Probes descend per key, but callers charge the descent cost once
+        per batch (see :meth:`repro.lsm.db.LSMTree.multi_get`): the hot
+        upper skip-list levels stay cache-resident across an ascending
+        probe sequence, so only the first descent pays full depth.
+        """
+        found: Dict[int, Record] = {}
+        for key in sorted_keys:
+            node = self._find_greater_or_equal(key)
+            if node is not None and node.key == key:
+                found[key] = node.record
+        return found
 
     def __len__(self) -> int:
         return self._count

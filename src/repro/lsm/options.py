@@ -106,6 +106,12 @@ class Options:
     #: segment blocks are served from memory instead of simulated disk;
     #: hit/miss counters land in :class:`~repro.storage.stats.Stats`.
     cache_bytes: int = 0
+    #: Coalesce overlapping/adjacent predicted segments of one table
+    #: into a single pread during :meth:`~repro.lsm.db.LSMTree.multi_get`
+    #: (one seek + sequential blocks instead of one seek per key).  Off,
+    #: batched lookups keep per-key reads — the control arm of the
+    #: ``multiget`` experiment.
+    multiget_coalesce: bool = True
 
     # -- index parameters -------------------------------------------------
     #: PGM internal error bound (the paper keeps the default 4).

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import CorruptionError
 from repro.indexes.base import ClusteredIndex, SearchBound
@@ -38,6 +38,9 @@ from repro.storage.block_device import BlockDevice
 from repro.storage.cost_model import CostModel
 from repro.storage.stats import (
     MODEL_BYTES_WRITTEN,
+    MULTIGET_COALESCED,
+    MULTIGET_SEEKS_SAVED,
+    SEEKS,
     SEGMENTS_FETCHED,
     TRAIN_KEY_VISITS,
     Stage,
@@ -274,11 +277,12 @@ class Table:
         returned list as read-only.
         """
         if self.cached_keys is None:
-            entry_bytes = self.footer.entry_bytes
             data = self.read_entries(0, self.footer.entry_count,
                                      Stage.COMPACT_READ)
-            self.cached_keys = [decode_key(data, i * entry_bytes)
-                                for i in range(self.footer.entry_count)]
+            # One strided pass: each entry contributes its leading 8-byte
+            # key, the rest of the fixed-size slot is skipped as padding.
+            strided = struct.Struct(f"<Q{self.footer.entry_bytes - 8}x")
+            self.cached_keys = [key for (key,) in strided.iter_unpack(data)]
         return self.cached_keys
 
     def close(self) -> None:
@@ -338,11 +342,14 @@ class Table:
         if hit_frac > 0.0:
             hit_blocks = nblocks * hit_frac
             miss_blocks = nblocks - hit_blocks
-            us = self.cost.read_us(miss_blocks,
-                                   seeks=seeks if miss_blocks else 0)
+            charged_seeks = seeks if miss_blocks else 0
+            us = self.cost.read_us(miss_blocks, seeks=charged_seeks)
             us += hit_blocks * self.cost.cache_block_us
         else:
+            charged_seeks = seeks
             us = self.cost.read_us(nblocks, seeks=seeks)
+        if charged_seeks:
+            self.stats.add(SEEKS, charged_seeks)
         self.stats.charge(stage, us)
         return data
 
@@ -378,8 +385,12 @@ class Table:
 
     def _binary_search(self, data: bytes, count: int,
                        key: int) -> Optional[int]:
+        return self._binary_search_range(data, 0, count, key)
+
+    def _binary_search_range(self, data: bytes, lo: int, hi: int,
+                             key: int) -> Optional[int]:
+        """Binary search entries [lo, hi) of a fetched buffer for ``key``."""
         entry_bytes = self.footer.entry_bytes
-        lo, hi = 0, count
         while lo < hi:
             mid = (lo + hi) // 2
             probe = decode_key(data, mid * entry_bytes)
@@ -390,6 +401,86 @@ class Table:
             else:
                 return mid
         return None
+
+    # -- batched reads ----------------------------------------------------
+
+    def _coalesce_gap_entries(self) -> int:
+        """Largest entry gap worth reading through instead of re-seeking.
+
+        Two predicted segments separated by fewer than this many entries
+        are cheaper to fetch as one sequential pread (paying the extra
+        transfer blocks) than as two preads (paying a second seek):
+        ``gap_blocks * block_read_us < seek_us``.
+        """
+        blocks = int(self.cost.seek_us // max(self.cost.block_read_us, 1e-9))
+        return blocks * (self.device.block_size // self.footer.entry_bytes)
+
+    def multi_get(self, keys: Sequence[int],
+                  coalesce: bool = True) -> Dict[int, Record]:
+        """Batched point lookups through the per-table index.
+
+        Predicts one bound per key (each key pays its own PREDICTION
+        charge — model evaluations do not amortize), then fetches all
+        bounds through :meth:`multi_get_in_bounds` so overlapping or
+        adjacent segments share one pread.  Returns ``{key: record}``
+        for the keys present (values *and* tombstones).
+        """
+        items = [(key, self._bound_for(key)) for key in keys]
+        return self.multi_get_in_bounds(items, coalesce=coalesce)
+
+    def multi_get_in_bounds(self, items: Sequence[Tuple[int, SearchBound]],
+                            coalesce: bool = True) -> Dict[int, Record]:
+        """Batched lookups when bounds are already known (level-model path).
+
+        ``items`` is a batch of ``(key, bound)`` pairs.  Bounds are
+        sorted by position and coalesced into maximal runs: a bound that
+        overlaps, adjoins, or sits within a cheaper-than-a-seek gap of
+        the current run (see :meth:`_coalesce_gap_entries`) extends it
+        instead of opening a new pread.  Each run costs **one seek plus
+        its sequential blocks**; every key is then binary-searched inside
+        its own bound within the shared buffer.  With ``coalesce=False``
+        every bound is its own run (the per-key cost shape, batched only
+        in control flow) — the knob the ``multiget`` experiment sweeps.
+        """
+        n = self.footer.entry_count
+        clamped: List[Tuple[int, SearchBound]] = []
+        for key, bound in items:
+            bound = bound.clamped(n)
+            if bound.width > 0:
+                clamped.append((key, bound))
+        if not clamped:
+            return {}
+        clamped.sort(key=lambda item: (item[1].lo, item[1].hi))
+        gap = self._coalesce_gap_entries()
+        runs: List[List] = []  # [run_lo, run_hi, [(key, bound), ...]]
+        for key, bound in clamped:
+            if coalesce and runs and bound.lo <= runs[-1][1] + gap:
+                runs[-1][1] = max(runs[-1][1], bound.hi)
+                runs[-1][2].append((key, bound))
+            else:
+                runs.append([bound.lo, bound.hi, [(key, bound)]])
+        found: Dict[int, Record] = {}
+        entry_bytes = self.footer.entry_bytes
+        value_capacity = self.footer.value_capacity
+        for run_lo, run_hi, members in runs:
+            seeks_before = self.stats.get(SEEKS)
+            data = self.read_entries(run_lo, run_hi, Stage.IO)
+            self.stats.add(SEGMENTS_FETCHED)
+            if len(members) > 1 and self.stats.get(SEEKS) > seeks_before:
+                # Only a run that actually paid a seek saved the others;
+                # a cache-served run would have cost no seeks per key
+                # either, so claiming savings there would overstate it.
+                self.stats.add(MULTIGET_COALESCED)
+                self.stats.add(MULTIGET_SEEKS_SAVED, len(members) - 1)
+            for key, bound in members:
+                idx = self._binary_search_range(
+                    data, bound.lo - run_lo, bound.hi - run_lo, key)
+                self.stats.charge(Stage.SEARCH,
+                                  self.cost.segment_search_us(bound.width))
+                if idx is not None:
+                    found[key] = decode_entry(data, idx * entry_bytes,
+                                              value_capacity)
+        return found
 
     def iterator(self, refill_stage: Stage = Stage.SCAN) -> "TableIterator":
         """Sequential iterator (range lookups, compaction inputs)."""

@@ -107,6 +107,25 @@ class ShardedDB:
         """Delete ``key`` (writes a tombstone on its owning shard)."""
         self.shards[self.router.shard_for(key)].delete(key)
 
+    def multi_get(self, keys: Sequence[int],
+                  coalesce: Optional[bool] = None) -> List[Optional[bytes]]:
+        """Batched point lookups; results reassembled in request order.
+
+        The batch is partitioned per owning shard, each shard absorbs
+        its sub-batch through one :meth:`~repro.lsm.db.LSMTree.multi_get`
+        (amortized level walks, coalesced segment reads), and the
+        per-shard results are stitched back into the caller's order —
+        duplicates included.
+        """
+        parts: Dict[int, List[int]] = {}
+        for key in keys:
+            parts.setdefault(self.router.shard_for(key), []).append(key)
+        resolved: Dict[int, Optional[bytes]] = {}
+        for shard, part in sorted(parts.items()):
+            values = self.shards[shard].multi_get(part, coalesce=coalesce)
+            resolved.update(zip(part, values))
+        return [resolved[key] for key in keys]
+
     # -- batched writes ------------------------------------------------
 
     def write(self, batch: WriteBatch) -> int:

@@ -224,12 +224,18 @@ BYTES_READ = "io.bytes_read"
 BYTES_WRITTEN = "io.bytes_written"
 READ_CALLS = "io.read_calls"
 WRITE_CALLS = "io.write_calls"
+SEEKS = "io.seeks"
 SEGMENTS_FETCHED = "lookup.segments_fetched"
 BLOOM_PROBES = "lookup.bloom_probes"
 BLOOM_NEGATIVES = "lookup.bloom_negatives"
 BLOOM_FALSE_POSITIVES = "lookup.bloom_false_positives"
 POINT_LOOKUPS = "op.point_lookups"
 RANGE_LOOKUPS = "op.range_lookups"
+MULTIGET_BATCHES = "multiget.batches"
+MULTIGET_KEYS = "multiget.keys"
+MULTIGET_COALESCED = "multiget.segments_coalesced"
+MULTIGET_SEEKS_SAVED = "multiget.seeks_saved"
+MULTIGET_READ_YOUR_WRITES = "multiget.read_your_writes"
 UPDATES = "op.updates"
 BATCH_WRITES = "op.batch_writes"
 FLUSHES = "op.flushes"
