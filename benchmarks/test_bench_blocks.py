@@ -1,0 +1,10 @@
+"""Benchmark: block-format study (block size x compression x checksums)."""
+
+from conftest import assert_checks, run_once
+
+from repro.bench.experiments import blocks_study
+
+
+def test_blocks_study(benchmark, bench_scale):
+    result = run_once(benchmark, blocks_study.run, scale=bench_scale)
+    assert_checks(result)

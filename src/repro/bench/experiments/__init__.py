@@ -10,6 +10,7 @@ from typing import Callable, Dict
 
 from repro.bench.experiments import (
     ablations,
+    blocks_study,
     fig5_dataset_cdfs,
     fig6_boundary_sweep,
     fig7_breakdown,
@@ -44,6 +45,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     service_study.EXPERIMENT_ID: service_study.run,
     multiget_study.EXPERIMENT_ID: multiget_study.run,
     recovery_study.EXPERIMENT_ID: recovery_study.run,
+    blocks_study.EXPERIMENT_ID: blocks_study.run,
 }
 
 TITLES: Dict[str, str] = {
@@ -63,6 +65,7 @@ TITLES: Dict[str, str] = {
     service_study.EXPERIMENT_ID: service_study.TITLE,
     multiget_study.EXPERIMENT_ID: multiget_study.TITLE,
     recovery_study.EXPERIMENT_ID: recovery_study.TITLE,
+    blocks_study.EXPERIMENT_ID: blocks_study.TITLE,
 }
 
 __all__ = ["EXPERIMENTS", "TITLES"]

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import BenchmarkError
 from repro.indexes.registry import ALL_KINDS, IndexKind
@@ -35,6 +35,9 @@ class BenchConfig:
     value_capacity: int = 1004
     size_ratio: int = 10
     bloom_bits_per_key: int = 10
+    #: Data-block size; None scales with the entry so every scale keeps
+    #: the paper's ~4 x 1 KiB entries per 4 KiB LevelDB block.
+    data_block_bytes: Optional[int] = None
     dataset: str = "random"
     n_keys: int = 100_000
     seed: int = 0
@@ -50,6 +53,9 @@ class BenchConfig:
             value_capacity=self.value_capacity,
             size_ratio=self.size_ratio,
             bloom_bits_per_key=self.bloom_bits_per_key,
+            data_block_bytes=(self.data_block_bytes
+                              if self.data_block_bytes is not None
+                              else 4 * (20 + self.value_capacity)),
         )
         options.validate()
         return options

@@ -29,6 +29,29 @@ class CorruptionError(ReproError):
     """Raised when on-disk data fails a checksum or structural check."""
 
 
+class ChecksumError(CorruptionError):
+    """A CRC32C mismatch (or undecodable payload) in one table region.
+
+    Carries enough context to name the damage: the file, the region
+    (``header``, ``data``, ``block_index``, ``index``, ``bloom`` or
+    ``footer``) and — for data blocks — the block number, so operators
+    and tests can tell a poisoned block from a destroyed table.
+    """
+
+    def __init__(self, file: str, region: str, *, block: int = -1,
+                 detail: str = "") -> None:
+        where = f"{file}: {region}"
+        if block >= 0:
+            where += f" block {block}"
+        message = f"checksum mismatch in {where}"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+        self.file = file
+        self.region = region
+        self.block = block
+
+
 class IndexBuildError(ReproError):
     """Raised when a learned index cannot be constructed over the given keys."""
 

@@ -56,6 +56,18 @@ class SearchBound:
         hi = max(lo, min(self.hi, n))
         return SearchBound(lo, hi)
 
+    def block_aligned(self, entries_per_block: int, n: int) -> "SearchBound":
+        """The bound widened outward to whole-block boundaries.
+
+        Learned-index predictions are entry-granular, but block-format
+        tables fetch whole blocks of ``entries_per_block`` entries, so
+        the effective search range is the predicted one rounded out to
+        block edges (and re-clamped to the ``n`` valid positions).
+        """
+        lo = (self.lo // entries_per_block) * entries_per_block
+        hi = -(-self.hi // entries_per_block) * entries_per_block
+        return SearchBound(lo, min(hi, n))
+
 
 class ClusteredIndex(ABC):
     """Base class for all data-clustered learned indexes (and fence pointers).

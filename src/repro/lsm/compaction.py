@@ -30,6 +30,7 @@ from repro.lsm.version import FileMetaData, Version
 from repro.lsm.level_index import LevelModelManager
 from repro.indexes.registry import IndexFactory
 from repro.persist.manifest import Manifest, VersionEdit
+from repro.storage.block_cache import DataBlockCache
 from repro.storage.block_device import BlockDevice
 from repro.storage.cost_model import CostModel
 from repro.storage.stats import (
@@ -79,7 +80,8 @@ class Compactor:
                  next_file_name: Callable[[], str],
                  next_file_number: Callable[[], int],
                  level_models: Optional[LevelModelManager] = None,
-                 manifest: Optional[Manifest] = None) -> None:
+                 manifest: Optional[Manifest] = None,
+                 data_cache: Optional[DataBlockCache] = None) -> None:
         self.device = device
         self.options = options
         self.stats = stats
@@ -89,6 +91,7 @@ class Compactor:
         self.next_file_number = next_file_number
         self.level_models = level_models
         self.manifest = manifest
+        self.data_cache = data_cache
         #: LevelDB-style compact pointers: last compacted max key per level.
         self._pointers: Dict[int, int] = {}
 
@@ -212,7 +215,8 @@ class Compactor:
     def _new_builder(self, factory: Optional[IndexFactory],
                      level: int) -> TableBuilder:
         return TableBuilder(self.device, self.next_file_name(), self.options,
-                            factory, self.stats, self.cost, level=level)
+                            factory, self.stats, self.cost, level=level,
+                            data_cache=self.data_cache)
 
     def _finish_builder(self, builder: TableBuilder) -> FileMetaData:
         table = builder.finish()
@@ -259,7 +263,8 @@ class Compactor:
             for meta in task.overlaps:
                 edit.delete_file(task.target_level, meta.number, meta.name)
             for meta in outputs:
-                edit.add_file(task.target_level, meta.number, meta.name)
+                edit.add_file(task.target_level, meta.number, meta.name,
+                              meta.table.format_version)
             for level, pointer in pointers.items():
                 edit.point_model(level, pointer)
             if outputs:

@@ -51,7 +51,7 @@ from repro.persist.manifest import (
     VersionEdit,
 )
 from repro.persist.models import MODEL_FILE_PREFIX, ModelStore
-from repro.storage.block_cache import CachedBlockDevice
+from repro.storage.block_cache import CachedBlockDevice, DataBlockCache
 from repro.storage.block_device import BlockDevice, MemoryBlockDevice
 from repro.storage.stats import (
     BATCH_WRITES,
@@ -95,6 +95,10 @@ class LSMTree:
             device = CachedBlockDevice(device, self.options.cache_bytes)
         device.stats = self.stats
         self.device = device
+        # Second cache tier: decompressed data blocks (block format v2).
+        self.data_cache: Optional[DataBlockCache] = (
+            DataBlockCache(self.options.data_cache_bytes)
+            if self.options.data_cache_bytes > 0 else None)
         self.cost = self.options.cost_model
         self.index_factory = self.options.make_index_factory()
         self.manifest: Optional[Manifest] = None
@@ -134,7 +138,8 @@ class LSMTree:
             next_file_name=self._next_file_name,
             next_file_number=self._next_file_number,
             level_models=self.level_models,
-            manifest=self.manifest)
+            manifest=self.manifest,
+            data_cache=self.data_cache)
 
     # -- recovery ----------------------------------------------------------
 
@@ -196,12 +201,13 @@ class LSMTree:
         """Materialise the replayed :class:`ManifestState`."""
         # Oldest first so overlapping levels end up newest-first.
         for number in sorted(state.files):
-            level, name = state.files[number]
+            level, name, format_version = state.files[number]
             if not self.device.exists(name):
                 raise CorruptionError(
                     f"manifest references missing file {name} (#{number})")
             table = Table.open(self.device, name, self.options, self.stats,
-                               self.cost)
+                               self.cost, data_cache=self.data_cache,
+                               expected_format=format_version)
             self.version.add_file(level, FileMetaData(number=number,
                                                       table=table))
         self._seq = max(self._seq, state.last_seq)  # WAL may be ahead
@@ -272,7 +278,7 @@ class LSMTree:
         max_number = 0
         for name in names:
             table = Table.open(self.device, name, options, self.stats,
-                               self.cost)
+                               self.cost, data_cache=self.data_cache)
             number = int(name.split("-")[1])
             metas.append(FileMetaData(number=number, table=table))
             max_seq = max(max_seq, table.footer.max_seq)
@@ -291,7 +297,12 @@ class LSMTree:
         edit = VersionEdit(kind=kind, next_file_number=self._file_counter,
                            last_seq=self._seq)
         for level, meta in self.version.all_files():
-            edit.add_file(level, meta.number, meta.name)
+            # Record the table's *actual* on-disk format — the scan
+            # fallback may have opened legacy flat-format files, and a
+            # snapshot that assumed the current format would make every
+            # future manifest-driven open misread them.
+            edit.add_file(level, meta.number, meta.name,
+                          meta.table.format_version)
         if self.level_models is not None:
             for level in range(1, self.options.max_levels):
                 pointer = self.level_models.persisted_pointer(level)
@@ -420,7 +431,7 @@ class LSMTree:
             return None
         builder = TableBuilder(self.device, self._next_file_name(),
                                self.options, self.index_factory, self.stats,
-                               self.cost)
+                               self.cost, data_cache=self.data_cache)
         for record in self.memtable.records():
             builder.add(record)
         table = builder.finish()
@@ -437,7 +448,7 @@ class LSMTree:
             edit = VersionEdit(kind="flush",
                                next_file_number=self._file_counter,
                                last_seq=self._seq)
-            edit.add_file(0, meta.number, meta.name)
+            edit.add_file(0, meta.number, meta.name, table.format_version)
             self.manifest.append(edit)
             self.stats.charge(Stage.WRITE_PATH, self.cost.wal_commit_us)
         self.memtable = MemTable(self.options.entry_bytes)
@@ -523,7 +534,8 @@ class LSMTree:
             chunk = sorted_keys[start:start + per_table]
             builder = TableBuilder(self.device, self._next_file_name(),
                                    self.options, factory, self.stats,
-                                   self.cost, level=level)
+                                   self.cost, level=level,
+                                   data_cache=self.data_cache)
             for key in chunk:
                 self._seq += 1
                 builder.add(make_value(key, self._seq, value_for(key)))
@@ -544,7 +556,8 @@ class LSMTree:
                                next_file_number=self._file_counter,
                                last_seq=self._seq)
             for meta in added:
-                edit.add_file(level, meta.number, meta.name)
+                edit.add_file(level, meta.number, meta.name,
+                              meta.table.format_version)
             if pointer is not None:
                 edit.point_model(level, pointer)
             self.manifest.append(edit)

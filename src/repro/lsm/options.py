@@ -79,6 +79,20 @@ class Options:
     value_capacity: int = 1004
     #: Device/IO block size (4 KiB, like the paper's testbed).
     block_size: int = 4096
+    #: Target *uncompressed* size of one SSTable data block.  Entries
+    #: are grouped into blocks of ``max(1, data_block_bytes //
+    #: entry_bytes)`` entries; each block is independently compressed
+    #: and checksummed (format v2).
+    data_block_bytes: int = 4096
+    #: Per-block codec by name (``none``, ``zlib-1``, ``zlib-6``,
+    #: ``zlib-9`` — see :mod:`repro.storage.compression`).  Advisory:
+    #: blocks a codec cannot shrink are stored raw.
+    block_codec: str = "none"
+    #: Decompressed-data-block cache capacity in bytes (0 disables the
+    #: second cache tier).  Keyed by ``(file, block_no)``; sits above
+    #: the raw device cache (``cache_bytes``), so hot blocks skip both
+    #: the simulated I/O and the decompress + verify work.
+    data_cache_bytes: int = 0
     #: Bloom filter bits per key (the paper uses 10).
     bloom_bits_per_key: int = 10
     #: Optional per-level override (Monkey-style allocation, the
@@ -205,6 +219,17 @@ class Options:
         if self.cache_bytes < 0:
             raise InvalidOptionError(
                 f"cache_bytes must be >= 0, got {self.cache_bytes}")
+        if self.data_cache_bytes < 0:
+            raise InvalidOptionError(
+                f"data_cache_bytes must be >= 0, got {self.data_cache_bytes}")
+        if self.data_block_bytes < 1:
+            raise InvalidOptionError(
+                f"data_block_bytes must be >= 1, got {self.data_block_bytes}")
+        from repro.storage.compression import codec_names
+        if self.block_codec not in codec_names():
+            raise InvalidOptionError(
+                f"unknown block_codec {self.block_codec!r}; "
+                f"registered: {codec_names()}")
         if (self.compaction_policy is CompactionPolicy.TIERING
                 and self.granularity is Granularity.LEVEL):
             raise InvalidOptionError(
@@ -236,6 +261,7 @@ def small_test_options(index_kind: IndexKind = IndexKind.FP,
         sstable_bytes=128 * entry_size(value_capacity),
         size_ratio=4,
         block_size=256,
+        data_block_bytes=256,
         l0_compaction_trigger=2,
     )
     defaults.update(overrides)

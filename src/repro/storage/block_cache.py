@@ -124,6 +124,87 @@ class LRUBlockCache:
         return sum(len(block) for block in self._blocks.values())
 
 
+class DataBlockCache:
+    """The second cache tier: *decompressed* SSTable data blocks.
+
+    Where :class:`LRUBlockCache` holds raw device blocks (post-codec
+    bytes at device-block granularity), this tier holds whole decoded
+    data blocks keyed by ``(file, block_no)`` — a hit skips simulated
+    I/O, checksum verification *and* decompression.  Capacity is in
+    bytes because decompressed blocks vary in size (the tail block of a
+    table is short).
+
+    Tables call :meth:`get`/:meth:`put` directly and account hits and
+    misses themselves; eviction counts are returned from :meth:`put`
+    like :class:`LRUBlockCache` does, so all ``cache.data_*`` counters
+    land in one :class:`~repro.storage.stats.Stats` registry.
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes < 0:
+            raise StorageError(
+                f"data cache capacity must be >= 0, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self._blocks: "OrderedDict[Tuple[str, int], bytes]" = OrderedDict()
+        self._by_file: Dict[str, Set[int]] = {}
+        self._used_bytes = 0
+
+    def get(self, name: str, block_no: int) -> Optional[bytes]:
+        """The decoded payload of ``block_no`` of ``name``, or None."""
+        payload = self._blocks.get((name, block_no))
+        if payload is not None:
+            self._blocks.move_to_end((name, block_no))
+        return payload
+
+    def put(self, name: str, block_no: int, payload: bytes) -> int:
+        """Admit one decoded block; returns how many blocks were evicted."""
+        if len(payload) > self.capacity_bytes:
+            return 0  # an oversized block would evict the whole cache
+        key = (name, block_no)
+        old = self._blocks.get(key)
+        if old is not None:
+            self._used_bytes -= len(old)
+        self._blocks[key] = payload
+        self._blocks.move_to_end(key)
+        self._used_bytes += len(payload)
+        self._by_file.setdefault(name, set()).add(block_no)
+        evicted = 0
+        while self._used_bytes > self.capacity_bytes:
+            (old_name, old_no), old_payload = self._blocks.popitem(last=False)
+            self._used_bytes -= len(old_payload)
+            indexes = self._by_file.get(old_name)
+            if indexes is not None:
+                indexes.discard(old_no)
+                if not indexes:
+                    del self._by_file[old_name]
+            evicted += 1
+        return evicted
+
+    def invalidate_file(self, name: str) -> int:
+        """Drop every cached block of ``name``; returns blocks dropped."""
+        indexes = self._by_file.pop(name, None)
+        if not indexes:
+            return 0
+        for block_no in indexes:
+            payload = self._blocks.pop((name, block_no), None)
+            if payload is not None:
+                self._used_bytes -= len(payload)
+        return len(indexes)
+
+    def clear(self) -> None:
+        """Drop everything."""
+        self._blocks.clear()
+        self._by_file.clear()
+        self._used_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def used_bytes(self) -> int:
+        """Bytes of decoded payload currently held."""
+        return self._used_bytes
+
+
 class CachedBlockDevice(BlockDevice):
     """A block device decorator that serves reads through an LRU cache.
 

@@ -1,0 +1,111 @@
+"""Pluggable per-block codecs for the block-based SSTable format.
+
+A codec turns a raw data-block payload into a stored payload and back.
+Following LevelDB, compression is advisory per block: if a codec fails
+to shrink a block, the builder stores it raw under codec id 0, so the
+codec byte persisted in each block trailer — not the table-wide option —
+is what the reader dispatches on.
+
+Codecs are registered by name (``Options.block_codec``) and by the
+one-byte id written to disk.  The id namespace is append-only: ids are
+part of the on-disk format and must never be reused.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.errors import ChecksumError
+
+
+@dataclass(frozen=True)
+class Codec:
+    """One block codec: a stable on-disk id plus encode/decode."""
+
+    codec_id: int
+    name: str
+    encode: Callable[[bytes], bytes]
+    decode: Callable[[bytes], bytes]
+
+
+def _identity(payload: bytes) -> bytes:
+    return payload
+
+
+_CODECS_BY_ID: Dict[int, Codec] = {}
+_CODECS_BY_NAME: Dict[str, Codec] = {}
+
+
+def register_codec(codec: Codec) -> Codec:
+    """Register a codec under its id and name (both must be unused)."""
+    if codec.codec_id in _CODECS_BY_ID:
+        raise ValueError(f"codec id {codec.codec_id} already registered")
+    if codec.name in _CODECS_BY_NAME:
+        raise ValueError(f"codec name {codec.name!r} already registered")
+    _CODECS_BY_ID[codec.codec_id] = codec
+    _CODECS_BY_NAME[codec.name] = codec
+    return codec
+
+
+NONE_CODEC = register_codec(Codec(0, "none", _identity, _identity))
+
+for _level, _cid in ((1, 1), (6, 2), (9, 3)):
+    register_codec(Codec(
+        _cid, f"zlib-{_level}",
+        (lambda payload, level=_level: zlib.compress(payload, level)),
+        zlib.decompress))
+
+
+def codec_names() -> Tuple[str, ...]:
+    """Registered codec names, in id order (for option validation)."""
+    return tuple(c.name for _, c in sorted(_CODECS_BY_ID.items()))
+
+
+def by_name(name: str) -> Codec:
+    """Look up a codec by ``Options.block_codec`` name."""
+    codec = _CODECS_BY_NAME.get(name)
+    if codec is None:
+        raise ValueError(
+            f"unknown block codec {name!r}; registered: {codec_names()}")
+    return codec
+
+
+def by_id(codec_id: int, *, file: str, block: int) -> Codec:
+    """Look up a codec by on-disk id; unknown ids mean corruption."""
+    codec = _CODECS_BY_ID.get(codec_id)
+    if codec is None:
+        raise ChecksumError(file, "data", block=block,
+                            detail=f"unknown codec id {codec_id}")
+    return codec
+
+
+def encode_block(codec: Codec, raw: bytes) -> Tuple[int, bytes]:
+    """Encode one block, falling back to raw when nothing is saved.
+
+    Returns ``(stored codec id, stored payload)``; the stored id is 0
+    when the codec's output was not strictly smaller than the input.
+    """
+    if codec.codec_id == 0:
+        return 0, raw
+    stored = codec.encode(raw)
+    if len(stored) >= len(raw):
+        return 0, raw
+    return codec.codec_id, stored
+
+
+def decode_block(codec_id: int, payload: bytes, raw_len: int, *,
+                 file: str, block: int) -> bytes:
+    """Decode one stored block payload and validate its raw length."""
+    codec = by_id(codec_id, file=file, block=block)
+    try:
+        raw = codec.decode(payload)
+    except zlib.error as exc:
+        raise ChecksumError(file, "data", block=block,
+                            detail=f"decode failed: {exc}") from exc
+    if len(raw) != raw_len:
+        raise ChecksumError(
+            file, "data", block=block,
+            detail=f"decoded {len(raw)} bytes, expected {raw_len}")
+    return raw

@@ -72,6 +72,12 @@ class CostModel:
     #: Serving one block from the in-memory LRU block cache (a memcpy,
     #: ~an order of magnitude below ``block_read_us`` + seek).
     cache_block_us: float = 0.02
+    #: Decompressing one byte of a stored data block (zlib inflate runs
+    #: ~500 MB/s on the paper's CPU: 0.002 us/byte = 8 us per 4 KiB).
+    decompress_byte_us: float = 0.002
+    #: Verifying one byte of CRC32C (hardware-assisted on the i9: ~20
+    #: GB/s, so effectively two orders below the transfer cost).
+    checksum_byte_us: float = 0.00005
 
     # Write path ------------------------------------------------------
     #: Appending one entry to the WAL + memtable insert.
@@ -85,6 +91,9 @@ class CostModel:
     block_write_us: float = 1.0
     #: Merging one entry during compaction (decode, compare, re-encode).
     merge_entry_us: float = 0.15
+    #: Compressing one byte of a data block at flush/compaction time
+    #: (zlib deflate at low levels: ~100 MB/s = 0.01 us/byte).
+    compress_byte_us: float = 0.01
     #: Visiting one key during index training (one pass of one key).
     #: Calibrated so a single-pass segmentation costs <5% of moving a
     #: ~1 KiB entry through a compaction (Section 5.3).
@@ -121,6 +130,18 @@ class CostModel:
         if n <= 1:
             return self.entry_probe_us
         return self.entry_probe_us * (math.log2(n) + 1.0)
+
+    def compress_us(self, raw_bytes: int) -> float:
+        """Cost of compressing ``raw_bytes`` of data-block payload."""
+        return raw_bytes * self.compress_byte_us
+
+    def decompress_us(self, raw_bytes: int) -> float:
+        """Cost of decompressing a block back to ``raw_bytes``."""
+        return raw_bytes * self.decompress_byte_us
+
+    def checksum_us(self, nbytes: int) -> float:
+        """Cost of checksumming ``nbytes`` (compute or verify)."""
+        return nbytes * self.checksum_byte_us
 
     def train_us(self, key_visits: int) -> float:
         """Cost of ``key_visits`` training-pass key visits."""

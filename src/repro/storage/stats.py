@@ -53,6 +53,10 @@ class Stage(str, enum.Enum):
     COMPACT_WRITE_MODEL = "compact_write_model"
     #: Sequential scan work beyond the initial seek (range lookups).
     SCAN = "scan"
+    #: Decompressing stored data blocks on the read path.
+    DECOMPRESS = "decompress"
+    #: Compaction/flush: compressing output data blocks.
+    COMPACT_COMPRESS = "compact_compress"
     #: Cold-open work: manifest replay, table footer/index/bloom loads,
     #: model sidecar reads.  Deliberately outside READ_STAGES and
     #: COMPACTION_STAGES — restart cost is its own axis (the recovery
@@ -70,6 +74,7 @@ READ_STAGES: Tuple[Stage, ...] = (
     Stage.IO,
     Stage.SEARCH,
     Stage.SCAN,
+    Stage.DECOMPRESS,
 )
 
 #: Stages that make up a compaction (Figure 9's breakdown).
@@ -79,6 +84,7 @@ COMPACTION_STAGES: Tuple[Stage, ...] = (
     Stage.COMPACT_WRITE,
     Stage.COMPACT_TRAIN,
     Stage.COMPACT_WRITE_MODEL,
+    Stage.COMPACT_COMPRESS,
 )
 
 
@@ -136,6 +142,19 @@ class Stats:
         misses = self.counters.get(CACHE_MISSES, 0.0)
         total = hits + misses
         return hits / total if total else 0.0
+
+    def data_cache_hit_rate(self) -> float:
+        """Decompressed-block cache hit fraction (0.0 when unused)."""
+        hits = self.counters.get(DATA_CACHE_HITS, 0.0)
+        misses = self.counters.get(DATA_CACHE_MISSES, 0.0)
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def compression_ratio(self) -> float:
+        """Raw-over-stored ratio of data blocks written (1.0 when none)."""
+        raw = self.counters.get(COMPRESS_BYTES_RAW, 0.0)
+        stored = self.counters.get(COMPRESS_BYTES_STORED, 0.0)
+        return raw / stored if stored else 1.0
 
     # -- snapshots -----------------------------------------------------
 
@@ -245,6 +264,14 @@ WAL_RECORDS_APPENDED = "wal.records_appended"
 CACHE_HITS = "cache.block_hits"
 CACHE_MISSES = "cache.block_misses"
 CACHE_EVICTIONS = "cache.block_evictions"
+DATA_CACHE_HITS = "cache.data_hits"
+DATA_CACHE_MISSES = "cache.data_misses"
+DATA_CACHE_EVICTIONS = "cache.data_evictions"
+COMPRESS_BYTES_RAW = "compress.bytes_raw"
+COMPRESS_BYTES_STORED = "compress.bytes_stored"
+DECOMPRESS_BYTES = "compress.bytes_decompressed"
+CHECKSUM_FAILURES = "block.checksum_failures"
+BLOCKS_VERIFIED = "block.checksums_verified"
 COMPACT_BYTES_IN = "compaction.bytes_in"
 COMPACT_BYTES_OUT = "compaction.bytes_out"
 TRAIN_KEY_VISITS = "train.key_visits"

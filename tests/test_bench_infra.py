@@ -1,5 +1,7 @@
 """Tests for the bench runner, scales and CLI plumbing."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.bench.cli import build_parser, main
@@ -66,9 +68,22 @@ def test_sample_queries_deterministic():
 def test_experiment_registry_complete():
     expected = {"fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
                 "table1", "fig11", "fig12", "unclustered", "ablations",
-                "tiering", "hardware", "service", "multiget", "recovery"}
+                "tiering", "hardware", "service", "multiget", "recovery",
+                "blocks"}
     assert expected == set(EXPERIMENTS)
     assert expected == set(TITLES)
+
+
+def test_every_experiment_has_a_benchmark_smoke():
+    # Registering an experiment without a benchmarks/ smoke wrapper
+    # means `--list` advertises something CI never exercises.
+    bench_dir = Path(__file__).resolve().parent.parent / "benchmarks"
+    for experiment_id in EXPERIMENTS:
+        smoke = bench_dir / f"test_bench_{experiment_id}.py"
+        assert smoke.is_file(), \
+            f"experiment {experiment_id!r} has no {smoke.name}"
+        assert f"{experiment_id}_study" in smoke.read_text() \
+            or experiment_id in smoke.read_text()
 
 
 def test_cli_parser():

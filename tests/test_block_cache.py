@@ -237,3 +237,57 @@ def test_cache_bytes_option_validation():
     from repro.errors import InvalidOptionError
     with pytest.raises(InvalidOptionError):
         small_test_options(cache_bytes=-1)
+
+
+# -- the decompressed data-block tier ------------------------------------
+
+
+def test_data_block_cache_lru_and_byte_capacity():
+    from repro.storage.block_cache import DataBlockCache
+    cache = DataBlockCache(100)
+    assert cache.put("f", 0, b"x" * 40) == 0
+    assert cache.put("f", 1, b"y" * 40) == 0
+    assert cache.get("f", 0) == b"x" * 40  # touch: 0 is now MRU
+    assert cache.put("f", 2, b"z" * 40) == 1  # evicts block 1 (LRU)
+    assert cache.get("f", 1) is None
+    assert cache.get("f", 0) is not None
+    assert cache.used_bytes() == 80
+    assert len(cache) == 2
+
+
+def test_data_block_cache_rejects_oversized_payloads():
+    from repro.storage.block_cache import DataBlockCache
+    cache = DataBlockCache(10)
+    assert cache.put("f", 0, b"a" * 11) == 0  # dropped, not admitted
+    assert cache.get("f", 0) is None
+    assert len(cache) == 0
+
+
+def test_data_block_cache_replacement_updates_bytes():
+    from repro.storage.block_cache import DataBlockCache
+    cache = DataBlockCache(100)
+    cache.put("f", 0, b"a" * 60)
+    cache.put("f", 0, b"b" * 20)  # same key, smaller payload
+    assert cache.used_bytes() == 20
+    assert cache.get("f", 0) == b"b" * 20
+
+
+def test_data_block_cache_file_invalidation():
+    from repro.storage.block_cache import DataBlockCache
+    cache = DataBlockCache(1000)
+    cache.put("f", 0, b"a" * 10)
+    cache.put("f", 1, b"b" * 10)
+    cache.put("g", 0, b"c" * 10)
+    assert cache.invalidate_file("f") == 2
+    assert cache.get("f", 0) is None
+    assert cache.get("g", 0) == b"c" * 10
+    assert cache.used_bytes() == 10
+    assert cache.invalidate_file("missing") == 0
+    cache.clear()
+    assert len(cache) == 0 and cache.used_bytes() == 0
+
+
+def test_data_block_cache_rejects_negative_capacity():
+    from repro.storage.block_cache import DataBlockCache
+    with pytest.raises(StorageError):
+        DataBlockCache(-1)

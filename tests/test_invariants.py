@@ -19,6 +19,7 @@ from repro.indexes.registry import ALL_KINDS, IndexKind
 from repro.lsm.db import LSMTree
 from repro.lsm.options import CompactionPolicy, small_test_options
 from repro.lsm.record import decode_key
+from repro.lsm.sstable import HEADER_BYTES
 from repro.persist.manifest import MANIFEST_NAME
 
 
@@ -107,15 +108,23 @@ def test_invariants_after_fuzz_tiering():
 
 
 def test_raw_file_layout_matches_footer():
-    """The first and last physical entries agree with footer metadata."""
+    """The first and last physical entries agree with footer metadata.
+
+    Under the block format (codec ``none`` stores blocks verbatim) the
+    first entry sits right after the file header and the last at the
+    tail of the final data block; the sparse index pins both offsets.
+    """
     db = LSMTree(small_test_options())
     _run_workload(db, seed=5, n_ops=600)
     for _, meta in db.version.all_files():
         table = meta.table
         entry_bytes = table.footer.entry_bytes
-        first = db.device.pread(table.name, 0, entry_bytes)
+        _, first_off, _, _ = table.handles[0]
+        assert first_off == HEADER_BYTES
+        first = db.device.pread(table.name, first_off, entry_bytes)
         assert decode_key(first, 0) == table.min_key
-        last_off = (table.entry_count - 1) * entry_bytes
-        last = db.device.pread(table.name, last_off, entry_bytes)
+        _, last_block_off, _, last_raw = table.handles[-1]
+        last = db.device.pread(
+            table.name, last_block_off + last_raw - entry_bytes, entry_bytes)
         assert decode_key(last, 0) == table.max_key
     db.close()

@@ -1,0 +1,181 @@
+"""Legacy flat-format migration: detection, compat reads, upgrade.
+
+A database written before the block format stores flat v1 tables and
+(possibly) a manifest whose ADD_FILE records carry no format field.
+These tests pin the migration contract:
+
+* scan-fallback recovery detects v1 files from their footers and the
+  migration snapshot records their *actual* format (the mislabel fix);
+* manifest-driven recovery opens v1 files through the compat read path
+  and cross-checks the recorded format against the file;
+* compaction rewrites v1 inputs as current-format tables, upgrading
+  the tree in place;
+* the format constants duplicated in the persist layer stay equal to
+  the sstable layer's (they are duplicated to keep persist below lsm
+  in the layering).
+"""
+
+import pytest
+
+from repro.errors import CorruptionError
+from repro.indexes.registry import IndexFactory, IndexKind
+from repro.lsm.db import LSMTree
+from repro.lsm.options import small_test_options
+from repro.lsm.record import make_value
+from repro.lsm.sstable import (
+    FORMAT_BLOCKED,
+    FORMAT_FLAT,
+    Table,
+    write_legacy_table,
+)
+from repro.persist.manifest import (
+    MANIFEST_NAME,
+    TABLE_FORMAT_BLOCKED,
+    TABLE_FORMAT_FLAT,
+    Manifest,
+)
+from repro.storage.block_device import MemoryBlockDevice
+from repro.storage.cost_model import CostModel
+from repro.storage.stats import RECOVERY_MANIFEST_OPENS, Stats
+
+
+def _options(**overrides):
+    return small_test_options(index_kind=IndexKind.PGM,
+                              position_boundary=8, **overrides)
+
+
+def _legacy_device(options, levels):
+    """A device holding only pre-block-format tables, ``{level: keys}``."""
+    device = MemoryBlockDevice(block_size=options.block_size, stats=Stats())
+    factory = IndexFactory(IndexKind.PGM, 8)
+    number = 0
+    seq = 0
+    for level, keys in levels.items():
+        number += 1
+        records = []
+        for key in sorted(keys):
+            seq += 1
+            records.append(make_value(key, seq, b"old-%d" % key))
+        write_legacy_table(device, f"sst-{number:06d}", options, records,
+                           index_factory=factory, level=level)
+    return device
+
+
+def test_format_constants_stay_in_sync():
+    # persist/ duplicates these to stay below lsm/ in the layering; a
+    # drift here would mislabel every table the manifest records.
+    assert TABLE_FORMAT_FLAT == FORMAT_FLAT
+    assert TABLE_FORMAT_BLOCKED == FORMAT_BLOCKED
+
+
+def test_scan_fallback_reads_legacy_tables():
+    options = _options()
+    keys = list(range(1000, 1512, 4))
+    device = _legacy_device(options, {1: keys})
+    db = LSMTree.reopen(options, device)
+    for key in keys[::17]:
+        assert db.get(key) == b"old-%d" % key
+    assert db.get(keys[0] + 1) is None
+    (_, meta), = db.version.all_files()
+    assert meta.table.format_version == FORMAT_FLAT
+
+
+def test_migration_snapshot_records_actual_formats():
+    options = _options()
+    old_keys = list(range(0, 256, 2))
+    device = _legacy_device(options, {1: old_keys})
+    db = LSMTree.reopen(options, device)
+    # Mix in a current-format flush so the snapshot labels both kinds.
+    for key in range(1, 129, 2):
+        db.put(key, b"new-%d" % key)
+    db.flush()
+    del db  # dropping the handle simulates a crash-stop exit
+    state = Manifest(device).replay()
+    formats = {}
+    for number, (level, name, fmt) in state.files.items():
+        table = Table.open(device, name, options, Stats(),
+                           CostModel(block_size=options.block_size))
+        formats[name] = (fmt, table.format_version)
+    assert formats  # at least the legacy file and the flush
+    for name, (recorded, actual) in formats.items():
+        assert recorded == actual, name
+    assert any(recorded == TABLE_FORMAT_FLAT
+               for recorded, _ in formats.values())
+    assert any(recorded == TABLE_FORMAT_BLOCKED
+               for recorded, _ in formats.values())
+
+
+def test_manifest_reopen_uses_compat_path():
+    options = _options()
+    keys = list(range(500, 756))
+    device = _legacy_device(options, {1: keys})
+    db = LSMTree.reopen(options, device)  # scan + migrate snapshot
+    del db  # crash-stop: files stay on the device
+    assert device.exists(MANIFEST_NAME)
+    reopened = LSMTree.reopen(options, device)  # manifest-driven now
+    assert reopened.stats.get(RECOVERY_MANIFEST_OPENS) == 1
+    for key in keys[::31]:
+        assert reopened.get(key) == b"old-%d" % key
+    legacy = [meta for _, meta in reopened.version.all_files()
+              if meta.table.format_version == FORMAT_FLAT]
+    assert legacy  # still served from the flat file, no rewrite yet
+
+
+def test_compaction_upgrades_legacy_tables():
+    options = _options()
+    old_keys = list(range(0, 512, 4))
+    device = _legacy_device(options, {1: old_keys})
+    db = LSMTree.reopen(options, device)
+    # Overwrite through the write path until L0 compacts into the
+    # legacy L1 file; the outputs must come back in the current format.
+    for key in range(0, 512, 2):
+        db.put(key, b"new-%d" % key)
+    db.flush()
+    db.maybe_compact()
+    formats = {meta.table.format_version
+               for _, meta in db.version.all_files()}
+    assert formats == {FORMAT_BLOCKED}
+    for key in range(0, 512, 4):
+        assert db.get(key) == b"new-%d" % key
+    del db
+    # The manifest agrees: every live file is recorded as blocked.
+    state = Manifest(device).replay()
+    assert state.files
+    assert {fmt for _, _, fmt in state.files.values()} \
+        == {TABLE_FORMAT_BLOCKED}
+    # And a final reopen serves the merged view.
+    reopened = LSMTree.reopen(options, device)
+    for key in range(0, 512, 4):
+        assert reopened.get(key) == b"new-%d" % key
+
+
+def test_expected_format_mismatch_is_detected():
+    options = _options()
+    keys = list(range(100, 200))
+    device = _legacy_device(options, {1: keys})
+    cost = CostModel(block_size=options.block_size)
+    # The file is v1; a manifest claiming it is blocked must not be
+    # silently believed.
+    with pytest.raises(CorruptionError):
+        Table.open(device, "sst-000001", options, Stats(), cost,
+                   expected_format=FORMAT_BLOCKED)
+    # The honest label opens fine.
+    table = Table.open(device, "sst-000001", options, Stats(), cost,
+                       expected_format=FORMAT_FLAT)
+    assert table.get(keys[0]).value == b"old-%d" % keys[0]
+
+
+def test_mixed_formats_scan_correctly():
+    options = _options()
+    old_keys = list(range(0, 300, 3))
+    device = _legacy_device(options, {2: old_keys})
+    db = LSMTree.reopen(options, device)
+    for key in range(1, 300, 3):
+        db.put(key, b"new-%d" % key)
+    db.flush()
+    expected = sorted(set(old_keys) | set(range(1, 300, 3)))
+    got = db.scan(0, len(expected) + 10)
+    assert [key for key, _ in got] == expected
+    for key, value in got:
+        want = b"old-%d" % key if key % 3 == 0 else b"new-%d" % key
+        assert value == want
