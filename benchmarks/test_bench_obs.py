@@ -1,0 +1,10 @@
+"""Benchmark: observability study (trace sampling x granularity)."""
+
+from conftest import assert_checks, run_once
+
+from repro.bench.experiments import obs_study
+
+
+def test_obs_study(benchmark, bench_scale):
+    result = run_once(benchmark, obs_study.run, scale=bench_scale)
+    assert_checks(result)

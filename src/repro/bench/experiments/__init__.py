@@ -21,6 +21,7 @@ from repro.bench.experiments import (
     fig12_ycsb,
     hardware_study,
     multiget_study,
+    obs_study,
     recovery_study,
     service_study,
     table1_stage_times,
@@ -46,6 +47,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     multiget_study.EXPERIMENT_ID: multiget_study.run,
     recovery_study.EXPERIMENT_ID: recovery_study.run,
     blocks_study.EXPERIMENT_ID: blocks_study.run,
+    obs_study.EXPERIMENT_ID: obs_study.run,
 }
 
 TITLES: Dict[str, str] = {
@@ -66,6 +68,7 @@ TITLES: Dict[str, str] = {
     multiget_study.EXPERIMENT_ID: multiget_study.TITLE,
     recovery_study.EXPERIMENT_ID: recovery_study.TITLE,
     blocks_study.EXPERIMENT_ID: blocks_study.TITLE,
+    obs_study.EXPERIMENT_ID: obs_study.TITLE,
 }
 
 __all__ = ["EXPERIMENTS", "TITLES"]

@@ -110,6 +110,11 @@ class ResultTable:
         table.rows = [list(row) for row in self.rows if row[idx] == value]
         return table
 
+    def to_json_dict(self) -> Dict[str, object]:
+        """Machine-readable form: list of column->cell row dicts."""
+        return {"columns": list(self.columns),
+                "rows": [dict(zip(self.columns, row)) for row in self.rows]}
+
 
 @dataclass(frozen=True)
 class ShapeCheck:
@@ -136,10 +141,17 @@ class ExperimentResult:
     checks: List[ShapeCheck] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
     extras: Dict[str, object] = field(default_factory=dict)
+    #: Pre-rendered text blocks appended after the tables (the CLI uses
+    #: these for latency percentiles and slowest-op waterfalls).
+    sections: List[tuple] = field(default_factory=list)  # (caption, text)
 
     def add_table(self, caption: str, table: ResultTable) -> None:
         """Attach one captioned table."""
         self.tables.append((caption, table))
+
+    def add_section(self, caption: str, text: str) -> None:
+        """Attach one captioned free-text block."""
+        self.sections.append((caption, text))
 
     def check(self, name: str, passed: bool, detail: str = "") -> None:
         """Record one shape check."""
@@ -167,11 +179,68 @@ class ExperimentResult:
         for caption, table in self.tables:
             out.write(f"\n--- {caption} ---\n")
             out.write(table.to_text())
+        for caption, text in self.sections:
+            out.write(f"\n--- {caption} ---\n")
+            out.write(text if text.endswith("\n") else text + "\n")
         if self.checks:
             out.write("\nShape checks (paper expectations):\n")
             for check in self.checks:
                 out.write("  " + check.render() + "\n")
         return out.getvalue()
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """Machine-readable form of the whole result."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "notes": list(self.notes),
+            "tables": [{"caption": caption, **table.to_json_dict()}
+                       for caption, table in self.tables],
+            "sections": [{"caption": caption, "text": text}
+                         for caption, text in self.sections],
+            "checks": [{"name": check.name, "passed": check.passed,
+                        "detail": check.detail} for check in self.checks],
+            "all_checks_passed": self.all_checks_passed,
+        }
+
+
+def percentile_table(registry) -> ResultTable:
+    """Latency percentiles per op type, one row per op.
+
+    ``registry`` is a :class:`~repro.obs.registry.MetricsRegistry`;
+    the CLI appends this table to every experiment report.
+    """
+    table = ResultTable(columns=["op", "count", "mean_us", "p50_us",
+                                 "p90_us", "p99_us", "p999_us", "max_us"])
+    for row in registry.percentile_rows():
+        table.add_row(row["op"], int(row["count"]), row["mean"],
+                      row["p50"], row["p90"], row["p99"], row["p999"],
+                      row["max"])
+    return table
+
+
+def render_waterfall(span, width: int = 32, indent: str = "") -> str:
+    """Text waterfall for one traced span: stage bars plus counters.
+
+    Stages are sorted by time spent; bar lengths are proportional to
+    the span total.  Child spans (a flush inside a put, a compaction
+    inside a flush) render recursively, indented.
+    """
+    out = io.StringIO()
+    detail = f" [{span.detail}]" if span.detail else ""
+    out.write(f"{indent}{span.op}{detail}: {span.total_us:.2f} us\n")
+    total = span.total_us or 1.0
+    for stage, us in sorted(span.stage_us.items(),
+                            key=lambda item: (-item[1], item[0])):
+        bar = "#" * max(1, int(round(us / total * width)))
+        out.write(f"{indent}  {stage:<18} {us:>12.2f} us  {bar}\n")
+    if span.counters:
+        pairs = "  ".join(f"{name}={value:g}"
+                          for name, value in sorted(span.counters.items()))
+        out.write(f"{indent}  counters: {pairs}\n")
+    for child in span.children:
+        out.write(render_waterfall(child, width=width, indent=indent + "    "))
+    return out.getvalue()
 
 
 def require(result: ExperimentResult,

@@ -122,14 +122,20 @@ def sample_queries(keys: Sequence[int], n_ops: int,
 
 
 def loaded_testbed(config: BenchConfig, keys: Sequence[int],
-                   bulk: bool = True, options=None) -> Testbed:
+                   bulk: bool = True, options=None,
+                   observe: bool = True, sample_every: int = 0,
+                   registry=None) -> Testbed:
     """A testbed with ``keys`` loaded (bulk by default).
 
     ``options`` overrides the engine options derived from ``config``
     (used by experiments that pin the paper's entry size).
+    ``observe``/``sample_every``/``registry`` pass through to
+    :class:`~repro.core.testbed.Testbed` (the default feeds the
+    process-wide metrics registry).
     """
     bed = Testbed(options if options is not None else config.to_options(),
-                  seed=config.seed)
+                  seed=config.seed, observe=observe,
+                  sample_every=sample_every, registry=registry)
     if bulk:
         bed.bulk_load(keys)
     else:

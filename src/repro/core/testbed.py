@@ -18,6 +18,8 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.config import BenchConfig
 from repro.lsm.db import LSMTree
 from repro.lsm.options import Options
+from repro.obs.registry import MetricsRegistry, MetricsWindow, global_registry
+from repro.obs.trace import Tracer
 from repro.storage.block_device import BlockDevice
 from repro.storage.stats import (
     BLOCKS_READ,
@@ -39,6 +41,11 @@ class PhaseMetrics:
     total_us: float
     stage_us: Dict[str, float]
     counters: Dict[str, float]
+    #: Per-op-type latency percentiles recorded during the phase
+    #: (``{op: {"p50": ..., "p99": ...}}``); None when tracing is off.
+    percentiles: Optional[Dict[str, Dict[str, float]]] = None
+    #: Windowed throughput/latency snapshots (YCSB phases only).
+    windows: Optional[List[Dict[str, float]]] = None
 
     @property
     def avg_us(self) -> float:
@@ -54,6 +61,15 @@ class PhaseMetrics:
     def counter(self, name: str) -> float:
         """Total counter change during the phase."""
         return self.counters.get(name, 0.0)
+
+    def percentile(self, op: str, name: str) -> float:
+        """A recorded latency percentile (e.g. ``("get", "p99")``).
+
+        Returns 0.0 when tracing was disabled or the op never ran.
+        """
+        if not self.percentiles:
+            return 0.0
+        return self.percentiles.get(op, {}).get(name, 0.0)
 
     def blocks_read_per_op(self) -> float:
         """Mean device blocks fetched per operation."""
@@ -86,10 +102,23 @@ class Testbed:
     options: Options
     device: Optional[BlockDevice] = None
     seed: int = 0
+    #: Attach a tracer so phases report latency percentiles.
+    observe: bool = True
+    #: Keep every Nth root span verbatim (0 = exemplars only).
+    sample_every: int = 0
+    #: Metrics sink; None means the process-wide default registry.
+    registry: Optional[MetricsRegistry] = None
     db: LSMTree = field(init=False)
+    tracer: Optional[Tracer] = field(init=False, default=None)
 
     def __post_init__(self) -> None:
-        self.db = LSMTree(self.options, device=self.device)
+        if self.observe:
+            if self.registry is None:
+                self.registry = global_registry()
+            self.tracer = Tracer(sample_every=self.sample_every,
+                                 registry=self.registry)
+        self.db = LSMTree(self.options, device=self.device,
+                          tracer=self.tracer)
         self._rng = random.Random(self.seed)
 
     # -- constructors ------------------------------------------------------
@@ -151,21 +180,38 @@ class Testbed:
 
     # -- measured phases -----------------------------------------------------
 
-    def _phase(self, before: StatsSnapshot, ops: int) -> PhaseMetrics:
+    def _hist_base(self) -> Optional[Dict[str, object]]:
+        """Histogram baseline so a phase reports only its own samples."""
+        if self.tracer is None or self.registry is None:
+            return None
+        return self.registry.snapshot()
+
+    def _phase_percentiles(self, base) -> Optional[Dict[str, Dict[str,
+                                                                  float]]]:
+        if base is None or self.registry is None:
+            return None
+        return {op: histogram.percentiles()
+                for op, histogram in self.registry.delta_since(base).items()}
+
+    def _phase(self, before: StatsSnapshot, ops: int,
+               base=None, windows=None) -> PhaseMetrics:
         delta = before.delta(self.db.stats)
         stage_us = {stage.value: us for stage, us in delta.stage_us.items()}
         return PhaseMetrics(ops=ops,
                             total_us=delta.read_time(),
                             stage_us=stage_us,
-                            counters=dict(delta.counters))
+                            counters=dict(delta.counters),
+                            percentiles=self._phase_percentiles(base),
+                            windows=windows)
 
     def run_point_lookups(self, keys: Sequence[int]) -> PhaseMetrics:
         """Execute point lookups and return read-path metrics."""
         before = self.db.stats.snapshot()
+        base = self._hist_base()
         get = self.db.get
         for key in keys:
             get(key)
-        return self._phase(before, len(keys))
+        return self._phase(before, len(keys), base)
 
     def run_multi_get(self, keys: Sequence[int], batch_size: int,
                       coalesce: bool = True) -> PhaseMetrics:
@@ -177,19 +223,21 @@ class Testbed:
         batch amortizes.
         """
         before = self.db.stats.snapshot()
+        base = self._hist_base()
         multi_get = self.db.multi_get
         for start in range(0, len(keys), batch_size):
             multi_get(keys[start:start + batch_size], coalesce=coalesce)
-        return self._phase(before, len(keys))
+        return self._phase(before, len(keys), base)
 
     def run_range_lookups(self, start_keys: Sequence[int],
                           length: int) -> PhaseMetrics:
         """Execute fixed-length scans from each start key."""
         before = self.db.stats.snapshot()
+        base = self._hist_base()
         scan = self.db.scan
         for key in start_keys:
             scan(key, length)
-        return self._phase(before, len(start_keys))
+        return self._phase(before, len(start_keys), base)
 
     def run_writes(self, keys: Sequence[int]) -> PhaseMetrics:
         """Execute puts (write-only phase for compaction studies).
@@ -198,6 +246,7 @@ class Testbed:
         time rather than read time.
         """
         before = self.db.stats.snapshot()
+        base = self._hist_base()
         put = self.db.put
         value_for = self.value_for
         for key in keys:
@@ -211,11 +260,13 @@ class Testbed:
         return PhaseMetrics(ops=len(keys),
                             total_us=compaction_us + write_us,
                             stage_us=stage_us,
-                            counters=dict(delta.counters))
+                            counters=dict(delta.counters),
+                            percentiles=self._phase_percentiles(base))
 
     def run_ycsb(self, workload: YCSBWorkload, n_ops: int,
                  write_batch_size: int = 1,
-                 read_batch_size: int = 1) -> PhaseMetrics:
+                 read_batch_size: int = 1,
+                 window_ops: int = 0) -> PhaseMetrics:
         """Execute a YCSB operation stream; returns whole-phase metrics.
 
         ``write_batch_size > 1`` groups consecutive updates/inserts
@@ -223,19 +274,36 @@ class Testbed:
         ``read_batch_size > 1`` mirrors it on the read side, draining
         consecutive READs through one
         :meth:`~repro.lsm.db.LSMTree.multi_get` per batch (see
-        :func:`repro.workloads.ycsb.replay`).
+        :func:`repro.workloads.ycsb.replay`).  ``window_ops > 0`` (with
+        tracing on) closes a throughput/percentile window every that
+        many operations; the rows come back in ``PhaseMetrics.windows``
+        and stay in the registry for export.
         """
         before = self.db.stats.snapshot()
+        base = self._hist_base()
         db = self.db
+        window = None
+        windows_from = 0
+        if window_ops and self.tracer is not None and self.registry:
+            windows_from = len(self.registry.windows)
+            window = MetricsWindow(self.registry, db.stats.total_time,
+                                   window_ops)
         replay(db, workload.operations(n_ops), self.value_for,
                write_batch_size=write_batch_size,
-               read_batch_size=read_batch_size)
+               read_batch_size=read_batch_size,
+               window=window)
+        windows = None
+        if window is not None:
+            window.finish()
+            windows = list(self.registry.windows[windows_from:])
         delta = before.delta(db.stats)
         stage_us = {stage.value: us for stage, us in delta.stage_us.items()}
         return PhaseMetrics(ops=n_ops,
                             total_us=delta.total_time(),
                             stage_us=stage_us,
-                            counters=dict(delta.counters))
+                            counters=dict(delta.counters),
+                            percentiles=self._phase_percentiles(base),
+                            windows=windows)
 
     # -- memory ------------------------------------------------------------
 

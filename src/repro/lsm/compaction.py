@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.lsm.iterators import MergingIterator
 from repro.lsm.options import CompactionPolicy, Granularity, Options
+from repro.obs.trace import OpType
 from repro.lsm.record import Record
 from repro.lsm.sstable import TableBuilder
 from repro.lsm.version import FileMetaData, Version
@@ -153,6 +154,19 @@ class Compactor:
     def run(self, version: Version,
             task: CompactionTask) -> CompactionOutcome:
         """Merge the task's inputs into ``task.target_level``."""
+        tracer = self.stats.tracer
+        span = (tracer.begin(OpType.COMPACTION,
+                             f"L{task.level}->L{task.target_level} "
+                             f"{len(task.all_inputs())} files")
+                if tracer is not None else None)
+        try:
+            return self._do_run(version, task)
+        finally:
+            if tracer is not None:
+                tracer.end(span)
+
+    def _do_run(self, version: Version,
+                task: CompactionTask) -> CompactionOutcome:
         outcome = CompactionOutcome(task=task)
         all_inputs = task.all_inputs()
         min_key = min(meta.min_key for meta in all_inputs)

@@ -50,6 +50,7 @@ from repro.persist.manifest import (
     Manifest,
     VersionEdit,
 )
+from repro.obs.trace import OpType
 from repro.persist.models import MODEL_FILE_PREFIX, ModelStore
 from repro.storage.block_cache import CachedBlockDevice, DataBlockCache
 from repro.storage.block_device import BlockDevice, MemoryBlockDevice
@@ -76,10 +77,16 @@ class LSMTree:
     """A single-threaded, deterministic LevelDB-style key-value store."""
 
     def __init__(self, options: Optional[Options] = None,
-                 device: Optional[BlockDevice] = None) -> None:
+                 device: Optional[BlockDevice] = None,
+                 tracer=None) -> None:
         self.options = options if options is not None else Options()
         self.options.validate()
         self.stats = Stats()
+        if tracer is not None:
+            # Attached before any substrate touches the registry, so
+            # construction-time work (WAL replay in particular) is
+            # already visible to an enclosing recovery span.
+            self.stats.attach_tracer(tracer)
         if device is None:
             device = MemoryBlockDevice(block_size=self.options.block_size,
                                        stats=self.stats)
@@ -145,7 +152,8 @@ class LSMTree:
 
     @classmethod
     def reopen(cls, options: Options, device: BlockDevice, *,
-               use_manifest: Optional[bool] = None) -> "LSMTree":
+               use_manifest: Optional[bool] = None,
+               tracer=None) -> "LSMTree":
         """Rebuild a database from the files on ``device``.
 
         Two recovery paths:
@@ -171,31 +179,36 @@ class LSMTree:
         back in the memtable on construction, completing crash
         recovery.
         """
-        manifest_present = device.exists(MANIFEST_NAME)
-        db = cls(options, device=device)
-        if (db.manifest is not None and manifest_present
-                and use_manifest is not False):
-            db._recover_from_manifest(db.manifest.replay())
-            db.stats.add(RECOVERY_MANIFEST_OPENS)
-        else:
-            db._recover_by_scan()
-            db.stats.add(RECOVERY_SCANS)
-            if db.manifest is not None:
-                db.manifest.rewrite(db._snapshot_edit("migrate"))
-            elif manifest_present:
-                # Persistence opt-out on a device that carries a
-                # manifest: this session will not log edits, so the
-                # log would go stale — and a *later* manifest-enabled
-                # reopen would replay it and garbage-collect every
-                # file written in between.  A missing manifest (clean
-                # scan + migrate next time) is strictly safer than a
-                # stale one; the orphaned sidecars go with it.
-                device.delete(MANIFEST_NAME)
-                for name in list(device.list_files()):
-                    if (name.startswith(MODEL_FILE_PREFIX)
-                            or name == MANIFEST_TMP_NAME):
-                        device.delete(name)
-        return db
+        span = tracer.begin(OpType.RECOVERY) if tracer is not None else None
+        try:
+            manifest_present = device.exists(MANIFEST_NAME)
+            db = cls(options, device=device, tracer=tracer)
+            if (db.manifest is not None and manifest_present
+                    and use_manifest is not False):
+                db._recover_from_manifest(db.manifest.replay())
+                db.stats.add(RECOVERY_MANIFEST_OPENS)
+            else:
+                db._recover_by_scan()
+                db.stats.add(RECOVERY_SCANS)
+                if db.manifest is not None:
+                    db.manifest.rewrite(db._snapshot_edit("migrate"))
+                elif manifest_present:
+                    # Persistence opt-out on a device that carries a
+                    # manifest: this session will not log edits, so the
+                    # log would go stale — and a *later* manifest-enabled
+                    # reopen would replay it and garbage-collect every
+                    # file written in between.  A missing manifest (clean
+                    # scan + migrate next time) is strictly safer than a
+                    # stale one; the orphaned sidecars go with it.
+                    device.delete(MANIFEST_NAME)
+                    for name in list(device.list_files()):
+                        if (name.startswith(MODEL_FILE_PREFIX)
+                                or name == MANIFEST_TMP_NAME):
+                            device.delete(name)
+            return db
+        finally:
+            if tracer is not None:
+                tracer.end(span)
 
     def _recover_from_manifest(self, state) -> None:
         """Materialise the replayed :class:`ManifestState`."""
@@ -366,15 +379,29 @@ class LSMTree:
             raise InvalidOptionError(
                 f"value of {len(value)} bytes exceeds value_capacity "
                 f"{self.options.value_capacity}")
-        self._seq += 1
-        record = make_value(key, self._seq, value)
-        self._apply(record)
+        tracer = self.stats.tracer
+        span = (tracer.begin(OpType.PUT, f"key={key}")
+                if tracer is not None else None)
+        try:
+            self._seq += 1
+            record = make_value(key, self._seq, value)
+            self._apply(record)
+        finally:
+            if tracer is not None:
+                tracer.end(span)
 
     def delete(self, key: int) -> None:
         """Delete ``key`` (writes a tombstone)."""
         self._check_open()
-        self._seq += 1
-        self._apply(make_tombstone(key, self._seq))
+        tracer = self.stats.tracer
+        span = (tracer.begin(OpType.DELETE, f"key={key}")
+                if tracer is not None else None)
+        try:
+            self._seq += 1
+            self._apply(make_tombstone(key, self._seq))
+        finally:
+            if tracer is not None:
+                tracer.end(span)
 
     def _apply(self, record: Record) -> None:
         if self.wal is not None:
@@ -406,6 +433,16 @@ class LSMTree:
                 raise InvalidOptionError(
                     f"value of {len(value)} bytes exceeds value_capacity "
                     f"{self.options.value_capacity}")
+        tracer = self.stats.tracer
+        span = (tracer.begin(OpType.WRITE_BATCH, f"{len(ops)} ops")
+                if tracer is not None else None)
+        try:
+            return self._write_records(ops)
+        finally:
+            if tracer is not None:
+                tracer.end(span)
+
+    def _write_records(self, ops) -> int:
         records = []
         for kind, key, value in ops:
             self._seq += 1
@@ -429,6 +466,16 @@ class LSMTree:
         self._check_open()
         if self.memtable.is_empty():
             return None
+        tracer = self.stats.tracer
+        span = (tracer.begin(OpType.FLUSH, f"{len(self.memtable)} entries")
+                if tracer is not None else None)
+        try:
+            return self._do_flush()
+        finally:
+            if tracer is not None:
+                tracer.end(span)
+
+    def _do_flush(self) -> Optional[FileMetaData]:
         builder = TableBuilder(self.device, self._next_file_name(),
                                self.options, self.index_factory, self.stats,
                                self.cost, data_cache=self.data_cache)
@@ -570,11 +617,18 @@ class LSMTree:
     def get(self, key: int) -> Optional[bytes]:
         """Point lookup; None when absent or deleted."""
         self._check_open()
-        self.stats.add(POINT_LOOKUPS)
-        record = self._get_record(key)
-        if record is None or record.is_tombstone:
-            return None
-        return record.value
+        tracer = self.stats.tracer
+        span = (tracer.begin(OpType.GET, f"key={key}")
+                if tracer is not None else None)
+        try:
+            self.stats.add(POINT_LOOKUPS)
+            record = self._get_record(key)
+            if record is None or record.is_tombstone:
+                return None
+            return record.value
+        finally:
+            if tracer is not None:
+                tracer.end(span)
 
     def multi_get(self, keys: Sequence[int],
                   coalesce: Optional[bool] = None) -> List[Optional[bytes]]:
@@ -603,6 +657,17 @@ class LSMTree:
             return []
         if coalesce is None:
             coalesce = self.options.multiget_coalesce
+        tracer = self.stats.tracer
+        span = (tracer.begin(OpType.MULTI_GET, f"{len(keys)} keys")
+                if tracer is not None else None)
+        try:
+            return self._do_multi_get(keys, coalesce)
+        finally:
+            if tracer is not None:
+                tracer.end(span)
+
+    def _do_multi_get(self, keys: Sequence[int],
+                      coalesce: bool) -> List[Optional[bytes]]:
         self.stats.add(POINT_LOOKUPS, len(keys))
         self.stats.add(MULTIGET_BATCHES)
         self.stats.add(MULTIGET_KEYS, len(keys))
@@ -808,10 +873,17 @@ class LSMTree:
     def scan(self, start_key: int, count: int) -> List[Tuple[int, bytes]]:
         """Range lookup: up to ``count`` live entries from ``start_key``."""
         self._check_open()
-        self.stats.add(RANGE_LOOKUPS)
-        cursor = self.iterator()
-        cursor.seek(start_key)
-        return cursor.take(count)
+        tracer = self.stats.tracer
+        span = (tracer.begin(OpType.SCAN, f"start={start_key} n={count}")
+                if tracer is not None else None)
+        try:
+            self.stats.add(RANGE_LOOKUPS)
+            cursor = self.iterator()
+            cursor.seek(start_key)
+            return cursor.take(count)
+        finally:
+            if tracer is not None:
+                tracer.end(span)
 
     # -- memory accounting (the paper's memory axis) -------------------------
 

@@ -27,6 +27,8 @@ from repro.errors import InvalidOptionError
 from repro.lsm.db import LSMTree
 from repro.lsm.options import Options
 from repro.lsm.write_batch import WriteBatch
+from repro.obs.registry import MetricsRegistry, global_registry
+from repro.obs.trace import Tracer
 from repro.service.router import HashRouter
 from repro.storage.block_device import BlockDevice
 from repro.storage.stats import Stats
@@ -46,7 +48,10 @@ class ShardedDB:
 
     def __init__(self, num_shards: int = 4,
                  options: Optional[Options] = None,
-                 devices: Optional[Sequence[BlockDevice]] = None) -> None:
+                 devices: Optional[Sequence[BlockDevice]] = None,
+                 observe: bool = True,
+                 sample_every: int = 0,
+                 metrics_sink: Optional[MetricsRegistry] = None) -> None:
         self.router = HashRouter(num_shards)
         self.options = options if options is not None else Options()
         if devices is not None and len(devices) != num_shards:
@@ -57,11 +62,42 @@ class ShardedDB:
                     device=devices[i] if devices is not None else None)
             for i in range(num_shards)
         ]
+        self._init_observability(observe, sample_every, metrics_sink)
+
+    def _init_observability(self, observe: bool, sample_every: int,
+                            metrics_sink: Optional[MetricsRegistry]) -> None:
+        """Attach one tracer (with its own registry) per shard.
+
+        Each shard records latencies into a *private*
+        :class:`~repro.obs.registry.MetricsRegistry`, mirroring a
+        deployment where every shard exports its own metrics;
+        :meth:`metrics` folds them together with the exact histogram
+        merge, so fleet-wide percentiles are lossless.  On
+        :meth:`close` the merged registry is folded into
+        ``metrics_sink`` (the global registry by default) so bench
+        reports see sharded runs too.
+        """
+        self.registries: List[MetricsRegistry] = []
+        self.tracers: List[Tracer] = []
+        self._metrics_sink = metrics_sink
+        self._metrics_flushed = False
+        if not observe:
+            return
+        for shard in self.shards:
+            registry = MetricsRegistry()
+            tracer = Tracer(sample_every=sample_every, registry=registry)
+            shard.stats.attach_tracer(tracer)
+            self.registries.append(registry)
+            self.tracers.append(tracer)
 
     @classmethod
     def reopen(cls, num_shards: int, options: Options,
                devices: Sequence[BlockDevice], *,
-               use_manifest: Optional[bool] = None) -> "ShardedDB":
+               use_manifest: Optional[bool] = None,
+               observe: bool = True,
+               sample_every: int = 0,
+               metrics_sink: Optional[MetricsRegistry] = None
+               ) -> "ShardedDB":
         """Rebuild every shard from its device (crash recovery).
 
         Each shard recovers *independently* from its own MANIFEST
@@ -77,9 +113,24 @@ class ShardedDB:
         db = cls.__new__(cls)
         db.router = HashRouter(num_shards)
         db.options = options
+        db.registries = []
+        db.tracers = []
+        db._metrics_sink = metrics_sink
+        db._metrics_flushed = False
+        tracers: List[Optional[Tracer]] = [None] * num_shards
+        if observe:
+            # Tracers exist before the shards recover, so each shard's
+            # cold open is recorded as a per-shard "recovery" span.
+            for i in range(num_shards):
+                registry = MetricsRegistry()
+                tracers[i] = Tracer(sample_every=sample_every,
+                                    registry=registry)
+                db.registries.append(registry)
+                db.tracers.append(tracers[i])
         db.shards = [LSMTree.reopen(options, device,
-                                    use_manifest=use_manifest)
-                     for device in devices]
+                                    use_manifest=use_manifest,
+                                    tracer=tracers[i])
+                     for i, device in enumerate(devices)]
         return db
 
     # -- routing -------------------------------------------------------
@@ -199,9 +250,23 @@ class ShardedDB:
         return total
 
     def close(self) -> None:
-        """Release every shard."""
+        """Release every shard and fold metrics into the sink."""
         for shard in self.shards:
             shard.close()
+        self._flush_metrics()
+
+    def _flush_metrics(self) -> None:
+        """Merge per-shard registries into the metrics sink, once.
+
+        The sink defaults to the process-wide registry so sharded runs
+        show up in bench reports alongside single-tree runs.
+        """
+        if self._metrics_flushed or not self.registries:
+            return
+        self._metrics_flushed = True
+        sink = (self._metrics_sink if self._metrics_sink is not None
+                else global_registry())
+        sink.merge(self.metrics())
 
     # -- aggregated introspection ----------------------------------------
 
@@ -212,6 +277,19 @@ class ShardedDB:
         for shard in self.shards:
             total.merge(shard.stats)
         return total
+
+    def metrics(self) -> MetricsRegistry:
+        """Fleet-wide metrics: every shard's registry, merged exactly.
+
+        Histogram buckets add, so the merged percentiles are identical
+        to a single histogram that observed every shard's samples —
+        no bucket re-quantization, no percentile-of-percentiles
+        approximation (``tests/test_obs.py`` property-tests this).
+        """
+        merged = MetricsRegistry()
+        for registry in self.registries:
+            merged.merge(registry)
+        return merged
 
     def entry_count(self) -> int:
         """Total entries across all shards (incl. stale versions)."""

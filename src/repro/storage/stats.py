@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Mapping, Tuple
+from typing import Dict, FrozenSet, Iterator, Mapping, Optional, Tuple
 
 
 class Stage(str, enum.Enum):
@@ -101,12 +101,20 @@ class Stats:
 
     counters: Dict[str, float] = field(default_factory=dict)
     stage_us: Dict[Stage, float] = field(default_factory=dict)
+    #: Optional :class:`repro.obs.trace.Tracer` observing this registry.
+    #: Pure observation: the tracer receives every charge/add event but
+    #: never writes back, so totals are byte-identical with or without
+    #: it.  Excluded from equality so traced and untraced registries
+    #: holding the same totals still compare equal.
+    tracer: Optional[object] = field(default=None, repr=False, compare=False)
 
     # -- counters ------------------------------------------------------
 
     def add(self, name: str, amount: float = 1.0) -> None:
         """Increment counter ``name`` by ``amount``."""
         self.counters[name] = self.counters.get(name, 0.0) + amount
+        if self.tracer is not None:
+            self.tracer.on_count(name, amount)
 
     def get(self, name: str) -> float:
         """Return counter ``name`` (0.0 when never incremented)."""
@@ -119,6 +127,29 @@ class Stats:
         if us < 0:
             raise ValueError(f"negative time charge: {us}")
         self.stage_us[stage] = self.stage_us.get(stage, 0.0) + us
+        if self.tracer is not None:
+            self.tracer.on_charge(stage, us)
+
+    # -- tracing hooks -------------------------------------------------
+
+    def attach_tracer(self, tracer) -> None:
+        """Route every subsequent charge/add event into ``tracer``."""
+        self.tracer = tracer
+
+    def detach_tracer(self) -> None:
+        """Stop observing (totals are untouched either way)."""
+        self.tracer = None
+
+    def begin_op(self, op, detail: str = ""):
+        """Open a root/nested span for ``op``; None when untraced."""
+        if self.tracer is None:
+            return None
+        return self.tracer.begin(op, detail)
+
+    def end_op(self, span) -> None:
+        """Close a span from :meth:`begin_op` (no-op on None)."""
+        if span is not None:
+            self.tracer.end(span)
 
     def stage_time(self, stage: Stage) -> float:
         """Simulated microseconds accumulated under ``stage``."""
@@ -286,3 +317,20 @@ MODEL_BYTES_PERSISTED = "persist.model_bytes_written"
 RECOVERY_MANIFEST_OPENS = "recovery.manifest_opens"
 RECOVERY_SCANS = "recovery.directory_scans"
 RECOVERY_FILES_GCED = "recovery.files_gced"
+
+
+def _registered_counter_names() -> FrozenSet[str]:
+    """Every dotted counter-name constant defined in this module."""
+    return frozenset(
+        value for key, value in globals().items()
+        if key.isupper() and not key.startswith("_")
+        and isinstance(value, str) and "." in value)
+
+
+#: The closed set of counter series the system may charge.  Call sites
+#: import the constants above, so a typo'd name cannot exist in code
+#: that uses them — and ``tests/test_stats.py`` runs a full workload
+#: and asserts every counter charged at runtime is in this set, so a
+#: stringly-typed charge sneaking in elsewhere fails CI instead of
+#: silently creating a new series.
+ALL_COUNTERS: FrozenSet[str] = _registered_counter_names()

@@ -164,7 +164,8 @@ class YCSBWorkload:
 def replay(db, operations: Iterable[Operation],
            value_for: Optional[Callable[[int], bytes]] = None,
            write_batch_size: int = 1,
-           read_batch_size: int = 1) -> Dict[str, int]:
+           read_batch_size: int = 1,
+           window: Optional[object] = None) -> Dict[str, int]:
     """Execute an operation stream against ``db``; returns op counts.
 
     ``db`` is anything with the engine surface — an
@@ -190,6 +191,10 @@ def replay(db, operations: Iterable[Operation],
     ``read_from_batch``), and any write, scan or read-modify-write
     drains the staged reads first, so a read can never observe a
     write issued after it.
+
+    ``window`` (a :class:`~repro.obs.registry.MetricsWindow`) is
+    ticked once per workload operation, so windowed throughput/
+    percentile snapshots line up with the operation stream.
     """
     if write_batch_size < 1:
         raise WorkloadError(
@@ -254,6 +259,8 @@ def replay(db, operations: Iterable[Operation],
             else:
                 db.delete(op.key)
             counts["delete"] = counts.get("delete", 0) + 1
+            if window is not None:
+                window.tick()
             continue
         elif op.kind in (OpKind.UPDATE, OpKind.INSERT):
             drain_reads()
@@ -272,6 +279,8 @@ def replay(db, operations: Iterable[Operation],
             db.get(op.key)
             db.put(op.key, value_for(op.key))
         counts[op.kind.value] = counts.get(op.kind.value, 0) + 1
+        if window is not None:
+            window.tick()
     commit()
     return counts
 

@@ -108,3 +108,55 @@ def test_iter_yields_sorted_counters():
     stats.add("z", 1)
     stats.add("a", 2)
     assert [name for name, _ in stats] == ["a", "z"]
+
+
+def test_every_runtime_counter_is_registered():
+    """A full workload charges only counters named in ALL_COUNTERS.
+
+    Guards against stringly-typed drift: any call site inventing an
+    ad-hoc counter name (instead of importing a constant from
+    ``repro.storage.stats``) shows up here as an unregistered key.
+    The workload deliberately crosses every subsystem that charges
+    counters: WAL group commits, block + data caches, compression,
+    level-granularity models, compaction, MultiGet coalescing, scans,
+    checkpointing, and both recovery paths.
+    """
+    import random
+
+    from repro.lsm.db import LSMTree
+    from repro.lsm.options import Granularity, small_test_options
+    from repro.lsm.write_batch import WriteBatch
+    from repro.storage.stats import ALL_COUNTERS
+
+    assert ALL_COUNTERS, "counter registry must not be empty"
+    charged = set()
+    for granularity in (Granularity.FILE, Granularity.LEVEL):
+        options = small_test_options(granularity=granularity,
+                                     enable_wal=True,
+                                     cache_bytes=32 * 1024,
+                                     data_cache_bytes=32 * 1024)
+        db = LSMTree(options)
+        rng = random.Random(13)
+        for i in range(300):
+            db.put(rng.randrange(500), b"w%d" % i)
+        batch = WriteBatch()
+        for i in range(40):
+            batch.put(500 + i, b"b%d" % i)
+            batch.delete(rng.randrange(500))
+        db.write(batch)
+        db.flush()
+        for _ in range(200):
+            db.get(rng.randrange(600))
+        db.multi_get([rng.randrange(600) for _ in range(64)])
+        db.scan(rng.randrange(500), 25)
+        db.checkpoint()
+        device = db.device
+        charged.update(db.stats.counters)
+        recovered = LSMTree.reopen(options, device)  # manifest path
+        charged.update(recovered.stats.counters)
+        rescanned = LSMTree.reopen(options, recovered.device,
+                                   use_manifest=False)  # scan path
+        charged.update(rescanned.stats.counters)
+        rescanned.close()
+    unregistered = charged - ALL_COUNTERS
+    assert not unregistered, f"unregistered counter names: {unregistered}"
