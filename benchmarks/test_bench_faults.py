@@ -1,0 +1,10 @@
+"""Benchmark: fault injection, degraded availability and scrub repair."""
+
+from conftest import assert_checks, run_once
+
+from repro.bench.experiments import faults_study
+
+
+def test_faults_study(benchmark, bench_scale):
+    result = run_once(benchmark, faults_study.run, scale=bench_scale)
+    assert_checks(result)

@@ -21,7 +21,14 @@ See ``examples/`` for complete walkthroughs and ``benchmarks/`` for the
 paper's experiments.
 """
 
-from repro.errors import ReproError
+from repro.errors import (
+    DiskFullError,
+    PowerCutError,
+    QuarantinedBlockError,
+    ReadOnlyModeError,
+    ReproError,
+    TransientIOError,
+)
 from repro.indexes import (
     ALL_KINDS,
     LEARNED_KINDS,
@@ -30,14 +37,30 @@ from repro.indexes import (
     IndexKind,
     SearchBound,
 )
-from repro.lsm import LSMTree, Options, WriteBatch
+from repro.lsm import LSMTree, Options, ScrubReport, WriteBatch
 from repro.service import HashRouter, ShardedDB
-from repro.storage import CostModel, MemoryBlockDevice, Stage, Stats
+from repro.storage import (
+    CostModel,
+    FaultPlan,
+    FaultyBlockDevice,
+    MemoryBlockDevice,
+    RetryPolicy,
+    Stage,
+    Stats,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ReproError",
+    "TransientIOError",
+    "DiskFullError",
+    "PowerCutError",
+    "ReadOnlyModeError",
+    "QuarantinedBlockError",
+    "FaultPlan",
+    "FaultyBlockDevice",
+    "RetryPolicy",
     "ClusteredIndex",
     "SearchBound",
     "IndexFactory",
@@ -46,6 +69,7 @@ __all__ = [
     "LEARNED_KINDS",
     "LSMTree",
     "Options",
+    "ScrubReport",
     "WriteBatch",
     "ShardedDB",
     "HashRouter",

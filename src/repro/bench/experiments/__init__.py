@@ -19,6 +19,7 @@ from repro.bench.experiments import (
     fig10_level_overhead,
     fig11_range_lookup,
     fig12_ycsb,
+    faults_study,
     hardware_study,
     multiget_study,
     obs_study,
@@ -47,6 +48,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     multiget_study.EXPERIMENT_ID: multiget_study.run,
     recovery_study.EXPERIMENT_ID: recovery_study.run,
     blocks_study.EXPERIMENT_ID: blocks_study.run,
+    faults_study.EXPERIMENT_ID: faults_study.run,
     obs_study.EXPERIMENT_ID: obs_study.run,
 }
 
@@ -68,6 +70,7 @@ TITLES: Dict[str, str] = {
     multiget_study.EXPERIMENT_ID: multiget_study.TITLE,
     recovery_study.EXPERIMENT_ID: recovery_study.TITLE,
     blocks_study.EXPERIMENT_ID: blocks_study.TITLE,
+    faults_study.EXPERIMENT_ID: faults_study.TITLE,
     obs_study.EXPERIMENT_ID: obs_study.TITLE,
 }
 

@@ -52,6 +52,72 @@ class ChecksumError(CorruptionError):
         self.block = block
 
 
+class TransientIOError(StorageError):
+    """A read failed for a reason that a bounded retry may cure.
+
+    Injected by :class:`repro.storage.faults.FaultyBlockDevice` to model
+    the flaky-but-recoverable class of device errors (bus resets, SCSI
+    timeouts).  Call sites wrap reads in a
+    :class:`repro.storage.retry.RetryPolicy`; only when the policy is
+    exhausted does the error escape to the caller.
+    """
+
+
+class DiskFullError(StorageError):
+    """An append failed because the device ran out of space.
+
+    The bytes that fit were written (a torn tail); the engine responds
+    by entering read-only degraded mode — reads keep working, writes
+    raise :class:`ReadOnlyModeError` until an operator intervenes.
+    """
+
+
+class PowerCutError(StorageError):
+    """The simulated machine lost power; the device is gone until revived.
+
+    After a power cut every operation on the faulty device raises this
+    error.  Tests call ``FaultyBlockDevice.revive()`` and reopen the
+    database to model the post-crash restart.
+    """
+
+
+class ReadOnlyModeError(ReproError):
+    """A write was rejected because the database is in degraded mode.
+
+    Raised by ``put``/``delete``/``write`` after the engine saw a
+    :class:`DiskFullError` or a WAL-append failure.  ``reason`` names
+    the triggering condition; reads remain fully available.
+    """
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(f"database is read-only (degraded): {reason}")
+        self.reason = reason
+
+
+class QuarantinedBlockError(ChecksumError):
+    """A lookup touched a data block that failed its checksum.
+
+    Once a block fails CRC verification it is quarantined: evicted from
+    both cache tiers, never re-admitted, and every later read that needs
+    it fails fast with this error instead of re-reading poison.  Other
+    blocks of the same table keep serving.  ``scrub()`` is the repair
+    path.
+
+    Subclasses :class:`ChecksumError` (region ``"data"``) because the
+    root cause is a checksum failure — callers catching the broad class
+    see quarantined reads too, while the narrow type tells the first
+    failure from the fail-fast replays.
+    """
+
+    def __init__(self, file: str, block: int) -> None:
+        CorruptionError.__init__(
+            self,
+            f"{file}: block {block} is quarantined after a checksum failure")
+        self.file = file
+        self.region = "data"
+        self.block = block
+
+
 class IndexBuildError(ReproError):
     """Raised when a learned index cannot be constructed over the given keys."""
 

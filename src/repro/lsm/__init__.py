@@ -34,6 +34,7 @@ from repro.lsm.record import (
     make_tombstone,
     make_value,
 )
+from repro.lsm.scrub import ScrubReport, TableScrubResult
 from repro.lsm.sstable import Table, TableBuilder, TableIterator
 from repro.lsm.version import FileMetaData, Version
 from repro.lsm.wal import WriteAheadLog
@@ -56,6 +57,8 @@ __all__ = [
     "BloomFilter",
     "WriteAheadLog",
     "WriteBatch",
+    "ScrubReport",
+    "TableScrubResult",
     "Table",
     "TableBuilder",
     "TableIterator",

@@ -19,9 +19,17 @@ breakdown is a direct read-out.
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import DatabaseClosedError, InvalidOptionError
+from repro.errors import (
+    DatabaseClosedError,
+    DiskFullError,
+    InvalidOptionError,
+    PowerCutError,
+    QuarantinedBlockError,
+    ReadOnlyModeError,
+    StorageError,
+)
 from repro.lsm.compaction import CompactionOutcome, Compactor
 from repro.lsm.iterators import (
     DBIterator,
@@ -59,6 +67,8 @@ from repro.storage.stats import (
     BLOOM_FALSE_POSITIVES,
     BLOOM_NEGATIVES,
     BLOOM_PROBES,
+    DEGRADED_ENTRIES,
+    DEGRADED_WRITES_REJECTED,
     FLUSHES,
     MULTIGET_BATCHES,
     MULTIGET_KEYS,
@@ -67,6 +77,7 @@ from repro.storage.stats import (
     RECOVERY_FILES_GCED,
     RECOVERY_MANIFEST_OPENS,
     RECOVERY_SCANS,
+    RECOVERY_TORN_TABLES,
     UPDATES,
     Stage,
     Stats,
@@ -133,6 +144,12 @@ class LSMTree:
         self._seq = 0
         self._file_counter = 0
         self._closed = False
+        #: Degraded mode: None = healthy, else the reason writes are
+        #: rejected.  Reads keep working; see :meth:`health`.
+        self._read_only_reason: Optional[str] = None
+        #: Names of tables scrub retired as unsalvageable (renamed to a
+        #: ``quar-`` prefix on the device for offline forensics).
+        self._quarantined_tables: List[str] = []
         self.wal: Optional[WriteAheadLog] = None
         if self.options.enable_wal:
             self.wal = WriteAheadLog(self.device)
@@ -282,7 +299,16 @@ class LSMTree:
                 self.stats.add(RECOVERY_FILES_GCED)
 
     def _recover_by_scan(self) -> None:
-        """The seed recovery path: open every ``sst-*`` on the device."""
+        """The seed recovery path: open every ``sst-*`` on the device.
+
+        A table that cannot even be opened — torn by a crash mid-flush,
+        or with a rotted footer — is quarantined under the ``quar-``
+        prefix instead of aborting recovery: the WAL (when enabled)
+        already holds every acknowledged record such a file could have
+        contained, and a torn file serves nothing either way.
+        """
+        from repro.lsm.scrub import QUARANTINE_PREFIX
+
         options = self.options
         names = sorted(name for name in self.device.list_files()
                        if name.startswith("sst-"))
@@ -290,8 +316,17 @@ class LSMTree:
         max_seq = self._seq  # WAL replay may already have advanced it
         max_number = 0
         for name in names:
-            table = Table.open(self.device, name, options, self.stats,
-                               self.cost, data_cache=self.data_cache)
+            try:
+                table = Table.open(self.device, name, options, self.stats,
+                                   self.cost, data_cache=self.data_cache)
+            except (CorruptionError, StorageError):
+                quarantine_name = QUARANTINE_PREFIX + name
+                if self.device.exists(quarantine_name):
+                    self.device.delete(quarantine_name)
+                self.device.rename(name, quarantine_name)
+                self._quarantined_tables.append(quarantine_name)
+                self.stats.add(RECOVERY_TORN_TABLES)
+                continue
             number = int(name.split("-")[1])
             metas.append(FileMetaData(number=number, table=table))
             max_seq = max(max_seq, table.footer.max_seq)
@@ -362,6 +397,62 @@ class LSMTree:
         if self._closed:
             raise DatabaseClosedError("operation on closed LSMTree")
 
+    # -- degraded mode -----------------------------------------------------
+
+    @property
+    def read_only(self) -> bool:
+        """True when the database is in read-only degraded mode."""
+        return self._read_only_reason is not None
+
+    @property
+    def read_only_reason(self) -> Optional[str]:
+        """What pushed the database into degraded mode (None = healthy)."""
+        return self._read_only_reason
+
+    def _enter_read_only(self, reason: str) -> None:
+        """Degrade to read-only: reads keep serving, writes raise.
+
+        Entered on a :class:`DiskFullError` or a WAL-append failure —
+        conditions where accepting more writes would either fail anyway
+        or break the durability contract.  The mode is sticky for the
+        life of this object (an operator fixes the device and reopens);
+        only the first entry counts and records the reason.
+        """
+        if self._read_only_reason is None:
+            self._read_only_reason = reason
+            self.stats.add(DEGRADED_ENTRIES)
+
+    def _check_writable(self) -> None:
+        if self._read_only_reason is not None:
+            self.stats.add(DEGRADED_WRITES_REJECTED)
+            raise ReadOnlyModeError(self._read_only_reason)
+
+    def health(self) -> Dict[str, object]:
+        """A health summary: mode, reason and quarantine totals."""
+        quarantined_blocks = sum(
+            len(meta.table.quarantined_blocks)
+            for _, meta in self.version.all_files())
+        status = "read_only" if self.read_only else (
+            "degraded" if quarantined_blocks or self._quarantined_tables
+            else "ok")
+        return {
+            "status": status,
+            "reason": self._read_only_reason,
+            "quarantined_blocks": quarantined_blocks,
+            "quarantined_tables": len(self._quarantined_tables),
+        }
+
+    def scrub(self) -> "ScrubReport":
+        """Verify every table, rewrite the damaged, retire the hopeless.
+
+        See :func:`repro.lsm.scrub.scrub_tree`; allowed (and most
+        useful) in degraded mode — repairing media damage is exactly
+        how an operator works back toward a clean bill of health.
+        """
+        self._check_open()
+        from repro.lsm.scrub import scrub_tree
+        return scrub_tree(self)
+
     def _replay_wal(self) -> None:
         assert self.wal is not None
         max_seq = self._seq
@@ -375,6 +466,7 @@ class LSMTree:
     def put(self, key: int, value: bytes) -> None:
         """Insert or overwrite ``key``."""
         self._check_open()
+        self._check_writable()
         if len(value) > self.options.value_capacity:
             raise InvalidOptionError(
                 f"value of {len(value)} bytes exceeds value_capacity "
@@ -393,6 +485,7 @@ class LSMTree:
     def delete(self, key: int) -> None:
         """Delete ``key`` (writes a tombstone)."""
         self._check_open()
+        self._check_writable()
         tracer = self.stats.tracer
         span = (tracer.begin(OpType.DELETE, f"key={key}")
                 if tracer is not None else None)
@@ -405,7 +498,15 @@ class LSMTree:
 
     def _apply(self, record: Record) -> None:
         if self.wal is not None:
-            self.wal.append(record)
+            try:
+                self.wal.append(record)
+            except StorageError as exc:
+                # The record never became durable, so it must not be
+                # applied; a WAL that can no longer accept appends means
+                # no future write can be made durable either.
+                self._enter_read_only(f"WAL append failed: {exc}")
+                self.stats.add(DEGRADED_WRITES_REJECTED)
+                raise ReadOnlyModeError(self._read_only_reason) from exc
             self.stats.charge(Stage.WRITE_PATH, self.cost.wal_commit_us)
         self.memtable.add(record)
         self.stats.add(UPDATES)
@@ -425,6 +526,7 @@ class LSMTree:
         supersede earlier ones, exactly as for individual calls.
         """
         self._check_open()
+        self._check_writable()
         ops = list(batch)
         if not ops:
             return 0
@@ -449,7 +551,12 @@ class LSMTree:
             records.append(Record(key=key, seq=self._seq, kind=kind,
                                   value=bytes(value)))
         if self.wal is not None:
-            self.wal.append_batch(records)
+            try:
+                self.wal.append_batch(records)
+            except StorageError as exc:
+                self._enter_read_only(f"WAL append failed: {exc}")
+                self.stats.add(DEGRADED_WRITES_REJECTED)
+                raise ReadOnlyModeError(self._read_only_reason) from exc
             self.stats.charge(Stage.WRITE_PATH, self.cost.wal_commit_us)
         for record in records:
             self.memtable.add(record)
@@ -464,6 +571,7 @@ class LSMTree:
     def flush(self) -> Optional[FileMetaData]:
         """Write the memtable to a new L0 table and run due compactions."""
         self._check_open()
+        self._check_writable()
         if self.memtable.is_empty():
             return None
         tracer = self.stats.tracer
@@ -471,6 +579,12 @@ class LSMTree:
                 if tracer is not None else None)
         try:
             return self._do_flush()
+        except (DiskFullError, PowerCutError) as exc:
+            # The memtable (and, with a WAL, the log) still holds the
+            # data; nothing acknowledged is lost.  But the device cannot
+            # take a table, so stop accepting writes.
+            self._enter_read_only(f"flush failed: {exc}")
+            raise ReadOnlyModeError(self._read_only_reason) from exc
         finally:
             if tracer is not None:
                 tracer.end(span)
@@ -630,8 +744,11 @@ class LSMTree:
             if tracer is not None:
                 tracer.end(span)
 
-    def multi_get(self, keys: Sequence[int],
-                  coalesce: Optional[bool] = None) -> List[Optional[bytes]]:
+    def multi_get(
+        self, keys: Sequence[int],
+        coalesce: Optional[bool] = None,
+        errors: Optional[Dict[int, QuarantinedBlockError]] = None,
+    ) -> List[Union[bytes, QuarantinedBlockError, None]]:
         """Batched point lookups; results in request order.
 
         Equivalent to ``[self.get(k) for k in keys]`` but the batch
@@ -651,6 +768,13 @@ class LSMTree:
 
         ``coalesce`` overrides ``options.multiget_coalesce`` for one
         call (the ``multiget`` experiment's control arm).
+
+        Pass an ``errors`` dict to get per-key fault isolation: a key
+        whose lookup hits a quarantined block is recorded there (and its
+        result slot holds the exception instance) instead of failing
+        the whole batch — every healthy key still returns its value.
+        Without ``errors`` the first quarantined read raises, matching
+        :meth:`get`.
         """
         self._check_open()
         if not keys:
@@ -661,13 +785,15 @@ class LSMTree:
         span = (tracer.begin(OpType.MULTI_GET, f"{len(keys)} keys")
                 if tracer is not None else None)
         try:
-            return self._do_multi_get(keys, coalesce)
+            return self._do_multi_get(keys, coalesce, errors)
         finally:
             if tracer is not None:
                 tracer.end(span)
 
-    def _do_multi_get(self, keys: Sequence[int],
-                      coalesce: bool) -> List[Optional[bytes]]:
+    def _do_multi_get(
+        self, keys: Sequence[int], coalesce: bool,
+        errors: Optional[Dict[int, QuarantinedBlockError]],
+    ) -> List[Union[bytes, QuarantinedBlockError, None]]:
         self.stats.add(POINT_LOOKUPS, len(keys))
         self.stats.add(MULTIGET_BATCHES)
         self.stats.add(MULTIGET_KEYS, len(keys))
@@ -686,7 +812,8 @@ class LSMTree:
             if not self.version.levels[level]:
                 continue
             before = self.stats.read_time()
-            found = self._search_level_batch(level, remaining, coalesce)
+            found = self._search_level_batch(level, remaining, coalesce,
+                                             errors)
             elapsed = self.stats.read_time() - before
             self._level_read_us[level] = (
                 self._level_read_us.get(level, 0.0) + elapsed)
@@ -695,14 +822,29 @@ class LSMTree:
             if found:
                 resolved.update(found)
                 remaining = [key for key in remaining if key not in found]
-        return [None if (record := resolved.get(key)) is None
-                or record.is_tombstone else record.value for key in keys]
+            if errors:
+                # An errored key is *resolved*: the poisoned block holds
+                # its newest version, and a deeper level could only
+                # serve a stale one.  Stop searching, surface the error.
+                remaining = [key for key in remaining if key not in errors]
+        out: List[Union[bytes, QuarantinedBlockError, None]] = []
+        for key in keys:
+            if errors and key in errors:
+                out.append(errors[key])
+                continue
+            record = resolved.get(key)
+            out.append(None if record is None or record.is_tombstone
+                       else record.value)
+        return out
 
-    def _search_level_batch(self, level: int, keys: List[int],
-                            coalesce: bool) -> Dict[int, Record]:
+    def _search_level_batch(
+        self, level: int, keys: List[int], coalesce: bool,
+        errors: Optional[Dict[int, QuarantinedBlockError]] = None,
+    ) -> Dict[int, Record]:
         """Search one level for a sorted key batch; ``{key: record}``."""
         if self.level_models is not None and level >= 1:
-            return self._search_level_model_batch(level, keys, coalesce)
+            return self._search_level_model_batch(level, keys, coalesce,
+                                                  errors)
         found: Dict[int, Record] = {}
         if self._level_overlapping(level):
             # Newest file first; a key found in a newer file must not be
@@ -721,11 +863,14 @@ class LSMTree:
                 candidates = [key for key in unresolved
                               if meta.min_key <= key <= meta.max_key]
                 hits = self._probe_table_batch(meta.table, candidates,
-                                               coalesce)
+                                               coalesce, errors)
                 if hits:
                     found.update(hits)
                     unresolved = [key for key in unresolved
                                   if key not in hits]
+                if errors:
+                    unresolved = [key for key in unresolved
+                                  if key not in errors]
             return found
         # Single sorted run: one merge walk assigns every key its file.
         files = self.version.levels[level]
@@ -744,42 +889,52 @@ class LSMTree:
                 grouped.setdefault(file_idx, []).append(key)
         for idx, group in grouped.items():
             found.update(self._probe_table_batch(files[idx].table, group,
-                                                 coalesce))
+                                                 coalesce, errors))
         return found
 
     def _level_overlapping(self, level: int) -> bool:
         return level == 0 or (self.options.compaction_policy
                               is CompactionPolicy.TIERING)
 
-    def _probe_table_batch(self, table: Table, candidates: List[int],
-                           coalesce: bool) -> Dict[int, Record]:
+    def _probe_table_batch(
+        self, table: Table, candidates: List[int], coalesce: bool,
+        errors: Optional[Dict[int, QuarantinedBlockError]] = None,
+    ) -> Dict[int, Record]:
         """One bloom pass then one coalesced multi-read for a table."""
         admitted = [key for key in candidates
                     if self._bloom_admits(table, key)]
         if not admitted:
             return {}
-        hits = table.multi_get(admitted, coalesce=coalesce)
-        misses = len(admitted) - len(hits)
-        if misses:
+        hits = table.multi_get(admitted, coalesce=coalesce, errors=errors)
+        errored = (sum(1 for key in admitted if key in errors)
+                   if errors else 0)
+        misses = len(admitted) - len(hits) - errored
+        if misses > 0:
             self.stats.add(BLOOM_FALSE_POSITIVES, misses)
         return hits
 
-    def _search_level_model_batch(self, level: int, keys: List[int],
-                                  coalesce: bool) -> Dict[int, Record]:
+    def _search_level_model_batch(
+        self, level: int, keys: List[int], coalesce: bool,
+        errors: Optional[Dict[int, QuarantinedBlockError]] = None,
+    ) -> Dict[int, Record]:
         assert self.level_models is not None
         found: Dict[int, Record] = {}
         for meta, items in self.level_models.lookup_batch(level, keys):
             admitted = [
                 (key, bound) for key, bound in items
                 if key not in found
+                and (errors is None or key not in errors)
                 and meta.table.key_range_contains(key)
                 and self._bloom_admits(meta.table, key)]
             if not admitted:
                 continue
             hits = meta.table.multi_get_in_bounds(admitted,
-                                                  coalesce=coalesce)
-            misses = len(admitted) - len(hits)
-            if misses:
+                                                  coalesce=coalesce,
+                                                  errors=errors)
+            errored = (sum(1 for key, _ in admitted if key in errors)
+                       if errors else 0)
+            misses = len(admitted) - len(hits) - errored
+            if misses > 0:
                 self.stats.add(BLOOM_FALSE_POSITIVES, misses)
             found.update(hits)
         return found

@@ -25,6 +25,7 @@ from repro.indexes.pgm import DEFAULT_EPSILON_RECURSIVE
 from repro.indexes.registry import IndexFactory, IndexKind
 from repro.lsm.record import entry_size
 from repro.storage.cost_model import DEFAULT_COST_MODEL, CostModel
+from repro.storage.retry import RetryPolicy
 
 
 class Granularity(str, enum.Enum):
@@ -138,6 +139,10 @@ class Options:
     #: Simulated hardware profile.
     cost_model: CostModel = field(default_factory=lambda: DEFAULT_COST_MODEL)
 
+    #: Bounded-retry policy for transient read faults (see
+    #: :mod:`repro.storage.retry`); backoff is charged to the cost model.
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
     # -- derived -----------------------------------------------------------
 
     @property
@@ -230,6 +235,7 @@ class Options:
             raise InvalidOptionError(
                 f"unknown block_codec {self.block_codec!r}; "
                 f"registered: {codec_names()}")
+        self.retry.validate()
         if (self.compaction_policy is CompactionPolicy.TIERING
                 and self.granularity is Granularity.LEVEL):
             raise InvalidOptionError(

@@ -46,7 +46,11 @@ import struct
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.errors import ChecksumError, CorruptionError
+from repro.errors import (
+    ChecksumError,
+    CorruptionError,
+    QuarantinedBlockError,
+)
 from repro.indexes.base import ClusteredIndex, SearchBound
 from repro.indexes.registry import IndexFactory, deserialize_index
 from repro.lsm.bloom import BloomFilter
@@ -71,6 +75,7 @@ from repro.storage.stats import (
     MODEL_BYTES_WRITTEN,
     MULTIGET_COALESCED,
     MULTIGET_SEEKS_SAVED,
+    QUARANTINED_BLOCKS,
     SEEKS,
     SEGMENTS_FETCHED,
     TRAIN_KEY_VISITS,
@@ -461,6 +466,11 @@ class Table:
         #: table object; verification is memoised per open table, so a
         #: hot block pays CRC work once.
         self._verified: Set[int] = set()
+        #: Data blocks that failed verification: evicted from every
+        #: cache tier and never read again — lookups touching one fail
+        #: fast with :class:`~repro.errors.QuarantinedBlockError` while
+        #: the rest of the table keeps serving.
+        self._quarantined: Set[int] = set()
         #: Kept only while needed by level-model rebuilds; dropped via
         #: :meth:`release_keys` otherwise.
         self.cached_keys = keys
@@ -487,15 +497,24 @@ class Table:
         size = device.size(name)
         if size < FOOTER_V1_BYTES:
             raise CorruptionError(f"table {name} too small for a footer")
+        retry = options.retry
+
+        def pread(offset: int, length: int) -> bytes:
+            # Transient device errors during open are retried like any
+            # other read; rot is not transient and surfaces below as a
+            # region ChecksumError.
+            return retry.call(lambda: device.pread(name, offset, length),
+                              stats, Stage.RECOVERY)
+
         footer: Optional[TableFooter] = None
         if size >= FOOTER_BYTES:
-            tail = device.pread(name, size - FOOTER_BYTES, FOOTER_BYTES)
+            tail = pread(size - FOOTER_BYTES, FOOTER_BYTES)
             if struct.unpack_from("<Q", tail)[0] == _MAGIC_V2:
                 footer = TableFooter.unpack(tail, name)
                 stats.charge(Stage.RECOVERY, cost.read_us(
                     cost.blocks_spanned(size - FOOTER_BYTES, FOOTER_BYTES)))
         if footer is None:
-            tail = device.pread(name, size - FOOTER_V1_BYTES, FOOTER_V1_BYTES)
+            tail = pread(size - FOOTER_V1_BYTES, FOOTER_V1_BYTES)
             footer = TableFooter.unpack_v1(tail)
             stats.charge(Stage.RECOVERY, cost.read_us(
                 cost.blocks_spanned(size - FOOTER_V1_BYTES, FOOTER_V1_BYTES)))
@@ -508,7 +527,7 @@ class Table:
 
         handles: Optional[List[Tuple[int, int, int, int]]] = None
         if footer.format_version == FORMAT_BLOCKED:
-            header = device.pread(name, 0, HEADER_BYTES)
+            header = pread(0, HEADER_BYTES)
             if (len(header) != HEADER_BYTES
                     or crc32c(header[:-4])
                     != struct.unpack("<I", header[-4:])[0]):
@@ -518,8 +537,8 @@ class Table:
                     or entry_bytes != footer.entry_bytes):
                 raise ChecksumError(name, "header",
                                     detail="header disagrees with footer")
-            payload = device.pread(name, footer.block_index_offset,
-                                   footer.block_index_len)
+            payload = pread(footer.block_index_offset,
+                           footer.block_index_len)
             if crc32c(payload) != footer.block_index_crc:
                 raise ChecksumError(name, "block_index")
             handles = list(_BLOCK_INDEX_ENTRY.iter_unpack(payload))
@@ -536,16 +555,14 @@ class Table:
 
         index = None
         if footer.index_len:
-            payload = device.pread(name, footer.index_offset,
-                                   footer.index_len)
+            payload = pread(footer.index_offset, footer.index_len)
             if (footer.format_version == FORMAT_BLOCKED
                     and crc32c(payload) != footer.index_crc):
                 raise ChecksumError(name, "index")
             index = deserialize_index(payload)
             stats.charge(Stage.RECOVERY, cost.read_us(
                 cost.blocks_spanned(footer.index_offset, footer.index_len)))
-        bloom_payload = device.pread(name, footer.bloom_offset,
-                                     footer.bloom_len)
+        bloom_payload = pread(footer.bloom_offset, footer.bloom_len)
         if (footer.format_version == FORMAT_BLOCKED
                 and crc32c(bloom_payload) != footer.bloom_crc):
             raise ChecksumError(name, "bloom")
@@ -647,6 +664,40 @@ class Table:
             return bound
         return bound.block_aligned(per, self.footer.entry_count)
 
+    @property
+    def quarantined_blocks(self) -> Set[int]:
+        """Data-block numbers currently quarantined (read-only view)."""
+        return set(self._quarantined)
+
+    def _quarantine_block(self, exc: ChecksumError) -> QuarantinedBlockError:
+        """Quarantine the block a :class:`ChecksumError` names.
+
+        Evicts (and permanently bars) the poisoned block from the
+        decompressed-block cache and — when the device has a raw cache
+        tier — the device blocks its stored bytes span, then returns the
+        typed per-key error the caller raises.  Re-reading cannot help:
+        the corruption lives on the medium, so the block stays
+        quarantined until :meth:`~repro.lsm.db.LSMTree.scrub` rewrites
+        or retires the table.
+        """
+        block_no = max(exc.block, 0)
+        if block_no not in self._quarantined:
+            self._quarantined.add(block_no)
+            self._verified.discard(block_no)
+            self.stats.add(QUARANTINED_BLOCKS)
+            if self.data_cache is not None:
+                self.data_cache.quarantine(self.name, block_no)
+            device_quarantine = getattr(self.device, "quarantine", None)
+            if (device_quarantine is not None and self.handles is not None
+                    and block_no < len(self.handles)):
+                _, offset, stored_len, _ = self.handles[block_no]
+                block_size = self.device.block_size
+                for index in range(offset // block_size,
+                                   (offset + stored_len - 1)
+                                   // block_size + 1):
+                    device_quarantine(self.name, index)
+        return QuarantinedBlockError(self.name, block_no)
+
     def _decode_stored(self, block_no: int, data: bytes, raw_len: int,
                        stage: Stage) -> bytes:
         """Verify + decode one stored data block (trailer included).
@@ -703,7 +754,9 @@ class Table:
         offset = self.handles[first_no][1]
         _, last_off, last_len, _ = self.handles[last_no]
         length = last_off + last_len - offset
-        data, hit_frac = self.device.pread_cached(self.name, offset, length)
+        data, hit_frac = self.options.retry.call(
+            lambda: self.device.pread_cached(self.name, offset, length),
+            self.stats, stage)
         if len(data) != length:
             raise ChecksumError(
                 self.name, "data", block=first_no,
@@ -735,7 +788,9 @@ class Table:
         entry_bytes = self.footer.entry_bytes
         offset = lo * entry_bytes
         length = (hi - lo) * entry_bytes
-        data, hit_frac = self.device.pread_cached(self.name, offset, length)
+        data, hit_frac = self.options.retry.call(
+            lambda: self.device.pread_cached(self.name, offset, length),
+            self.stats, stage)
         nblocks = self.cost.blocks_spanned(offset, length)
         if hit_frac > 0.0:
             hit_blocks = nblocks * hit_frac
@@ -770,6 +825,12 @@ class Table:
         per = self.footer.entries_per_block
         first = lo // per
         last = (hi - 1) // per
+        if self._quarantined:
+            # Fail fast before touching the device: a quarantined block
+            # is known-poisoned and must never be re-read or re-served.
+            for block_no in range(first, last + 1):
+                if block_no in self._quarantined:
+                    raise QuarantinedBlockError(self.name, block_no)
         payloads: List[Optional[bytes]] = [None] * (last - first + 1)
         cache = self.data_cache
         pending: List[int] = []
@@ -790,8 +851,11 @@ class Table:
         run: List[int] = []
         for block_no in pending + [-1]:
             if run and block_no != run[-1] + 1:
-                for no, raw in zip(run, self._fetch_run(run, stage,
-                                                        seeks=seek_budget)):
+                try:
+                    fetched = self._fetch_run(run, stage, seeks=seek_budget)
+                except ChecksumError as exc:
+                    raise self._quarantine_block(exc) from exc
+                for no, raw in zip(run, fetched):
                     payloads[no - first] = raw
                 seek_budget = 0
                 run = []
@@ -865,8 +929,9 @@ class Table:
         blocks = int(self.cost.seek_us // max(self.cost.block_read_us, 1e-9))
         return blocks * (self.device.block_size // self.footer.entry_bytes)
 
-    def multi_get(self, keys: Sequence[int],
-                  coalesce: bool = True) -> Dict[int, Record]:
+    def multi_get(self, keys: Sequence[int], coalesce: bool = True,
+                  errors: Optional[Dict[int, QuarantinedBlockError]] = None,
+                  ) -> Dict[int, Record]:
         """Batched point lookups through the per-table index.
 
         Predicts one bound per key (each key pays its own PREDICTION
@@ -876,10 +941,14 @@ class Table:
         for the keys present (values *and* tombstones).
         """
         items = [(key, self._bound_for(key)) for key in keys]
-        return self.multi_get_in_bounds(items, coalesce=coalesce)
+        return self.multi_get_in_bounds(items, coalesce=coalesce,
+                                        errors=errors)
 
     def multi_get_in_bounds(self, items: Sequence[Tuple[int, SearchBound]],
-                            coalesce: bool = True) -> Dict[int, Record]:
+                            coalesce: bool = True,
+                            errors: Optional[
+                                Dict[int, QuarantinedBlockError]] = None,
+                            ) -> Dict[int, Record]:
         """Batched lookups when bounds are already known (level-model path).
 
         ``items`` is a batch of ``(key, bound)`` pairs.  Bounds are
@@ -893,6 +962,12 @@ class Table:
         the shared buffer.  With ``coalesce=False`` every bound is its
         own run (the per-key cost shape, batched only in control flow) —
         the knob the ``multiget`` experiment sweeps.
+
+        Failure isolation is per *key*, not per batch: when a run's
+        fetch hits a quarantined block, its members are retried
+        individually so only the keys whose own bound covers the poison
+        fail — those land in the ``errors`` out-dict when one is given,
+        and re-raise otherwise.
         """
         n = self.footer.entry_count
         clamped: List[Tuple[int, SearchBound]] = []
@@ -916,7 +991,11 @@ class Table:
         value_capacity = self.footer.value_capacity
         for run_lo, run_hi, members in runs:
             seeks_before = self.stats.get(SEEKS)
-            data = self.read_entries(run_lo, run_hi, Stage.IO)
+            try:
+                data = self.read_entries(run_lo, run_hi, Stage.IO)
+            except QuarantinedBlockError:
+                self._multi_get_salvage(members, found, errors)
+                continue
             self.stats.add(SEGMENTS_FETCHED)
             if len(members) > 1 and self.stats.get(SEEKS) > seeks_before:
                 # Only a run that actually paid a seek saved the others;
@@ -933,6 +1012,34 @@ class Table:
                     found[key] = decode_entry(data, idx * entry_bytes,
                                               value_capacity)
         return found
+
+    def _multi_get_salvage(self, members: Sequence[Tuple[int, SearchBound]],
+                           found: Dict[int, Record],
+                           errors: Optional[
+                               Dict[int, QuarantinedBlockError]]) -> None:
+        """Per-key fallback after a coalesced run hit quarantine.
+
+        Each member re-fetches only its own bound, so keys whose blocks
+        are healthy still resolve; keys covering the poisoned block get
+        a per-key error instead of sinking the whole batch.
+        """
+        entry_bytes = self.footer.entry_bytes
+        value_capacity = self.footer.value_capacity
+        for key, bound in members:
+            try:
+                data = self.read_entries(bound.lo, bound.hi, Stage.IO)
+            except QuarantinedBlockError as exc:
+                if errors is None:
+                    raise
+                errors[key] = exc
+                continue
+            self.stats.add(SEGMENTS_FETCHED)
+            idx = self._binary_search_range(data, 0, bound.width, key)
+            self.stats.charge(Stage.SEARCH,
+                              self.cost.segment_search_us(bound.width))
+            if idx is not None:
+                found[key] = decode_entry(data, idx * entry_bytes,
+                                          value_capacity)
 
     def iterator(self, refill_stage: Stage = Stage.SCAN) -> "TableIterator":
         """Sequential iterator (range lookups, compaction inputs)."""

@@ -23,8 +23,9 @@ import heapq
 from operator import itemgetter
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import InvalidOptionError
+from repro.errors import InvalidOptionError, QuarantinedBlockError
 from repro.lsm.db import LSMTree
+from repro.lsm.scrub import ScrubReport
 from repro.lsm.options import Options
 from repro.lsm.write_batch import WriteBatch
 from repro.obs.registry import MetricsRegistry, global_registry
@@ -159,21 +160,27 @@ class ShardedDB:
         self.shards[self.router.shard_for(key)].delete(key)
 
     def multi_get(self, keys: Sequence[int],
-                  coalesce: Optional[bool] = None) -> List[Optional[bytes]]:
+                  coalesce: Optional[bool] = None,
+                  errors: Optional[Dict[int, QuarantinedBlockError]] = None,
+                  ) -> List[Optional[bytes]]:
         """Batched point lookups; results reassembled in request order.
 
         The batch is partitioned per owning shard, each shard absorbs
         its sub-batch through one :meth:`~repro.lsm.db.LSMTree.multi_get`
         (amortized level walks, coalesced segment reads), and the
         per-shard results are stitched back into the caller's order —
-        duplicates included.
+        duplicates included.  ``errors`` gives per-key fault isolation,
+        exactly as on the single tree: a quarantined key lands in the
+        dict (and its slot holds the exception) while every other key —
+        including the rest of the same shard's sub-batch — resolves.
         """
         parts: Dict[int, List[int]] = {}
         for key in keys:
             parts.setdefault(self.router.shard_for(key), []).append(key)
         resolved: Dict[int, Optional[bytes]] = {}
         for shard, part in sorted(parts.items()):
-            values = self.shards[shard].multi_get(part, coalesce=coalesce)
+            values = self.shards[shard].multi_get(part, coalesce=coalesce,
+                                                  errors=errors)
             resolved.update(zip(part, values))
         return [resolved[key] for key in keys]
 
@@ -234,6 +241,34 @@ class ShardedDB:
         """Run compactions on every shard until capacities are met."""
         for shard in self.shards:
             shard.maybe_compact()
+
+    def health(self) -> Dict[str, object]:
+        """Fleet health: overall status plus one entry per shard.
+
+        ``status`` is ``ok`` only when every shard reports ``ok``; a
+        single degraded or read-only shard degrades the fleet summary
+        while the per-shard list tells an operator exactly where to
+        look.  Keys on healthy shards are unaffected — that isolation
+        is the point of sharding.
+        """
+        shards = []
+        for i, shard in enumerate(self.shards):
+            entry: Dict[str, object] = {"shard": i}
+            entry.update(shard.health())
+            shards.append(entry)
+        worst = "ok"
+        if any(entry["status"] == "degraded" for entry in shards):
+            worst = "degraded"
+        if any(entry["status"] == "read_only" for entry in shards):
+            worst = "read_only"
+        return {"status": worst, "shards": shards}
+
+    def scrub(self) -> ScrubReport:
+        """Scrub every shard; returns the merged repair report."""
+        report = ScrubReport()
+        for shard in self.shards:
+            report.merge(shard.scrub())
+        return report
 
     def checkpoint(self) -> Dict[str, float]:
         """Checkpoint every shard; returns aggregated persistence totals.

@@ -14,7 +14,9 @@ from repro.storage.block_device import (
     MemoryBlockDevice,
 )
 from repro.storage.cost_model import DEFAULT_COST_MODEL, CostModel
+from repro.storage.faults import FaultPlan, FaultyBlockDevice
 from repro.storage.profiles import PROFILES, get_profile, io_cpu_ratio
+from repro.storage.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.storage.stats import (
     COMPACTION_STAGES,
     READ_STAGES,
@@ -30,6 +32,10 @@ __all__ = [
     "FileBlockDevice",
     "CachedBlockDevice",
     "LRUBlockCache",
+    "FaultPlan",
+    "FaultyBlockDevice",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
     "DEFAULT_BLOCK_SIZE",
     "CostModel",
     "DEFAULT_COST_MODEL",

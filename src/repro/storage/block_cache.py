@@ -58,6 +58,7 @@ class LRUBlockCache:
         self.capacity_blocks = capacity_bytes // block_size
         self._blocks: "OrderedDict[Tuple[str, int], bytes]" = OrderedDict()
         self._by_file: Dict[str, Set[int]] = {}
+        self._blocked: Set[Tuple[str, int]] = set()
 
     # -- core map ------------------------------------------------------
 
@@ -76,6 +77,8 @@ class LRUBlockCache:
         if self.capacity_blocks <= 0:
             return 0
         key = (name, index)
+        if key in self._blocked:
+            return 0  # quarantined blocks are never re-admitted
         self._blocks[key] = payload
         self._blocks.move_to_end(key)
         self._by_file.setdefault(name, set()).add(index)
@@ -101,7 +104,14 @@ class LRUBlockCache:
             self._discard_index(name, index)
 
     def invalidate_file(self, name: str) -> int:
-        """Drop every cached block of ``name``; returns blocks dropped."""
+        """Drop every cached block of ``name``; returns blocks dropped.
+
+        Also lifts any quarantine on the name: invalidation happens when
+        the file identity changes (create/delete/rename), and a new file
+        under an old name must not inherit its predecessor's poison
+        list.
+        """
+        self._blocked = {key for key in self._blocked if key[0] != name}
         indexes = self._by_file.pop(name, None)
         if not indexes:
             return 0
@@ -109,10 +119,24 @@ class LRUBlockCache:
             self._blocks.pop((name, index), None)
         return len(indexes)
 
+    def quarantine(self, name: str, index: int) -> None:
+        """Evict one block and refuse to ever re-admit it.
+
+        Called when a read of this block failed its checksum: the copy
+        in cache (and any future copy read from the device) is poison.
+        """
+        self.invalidate_block(name, index)
+        self._blocked.add((name, index))
+
+    def is_quarantined(self, name: str, index: int) -> bool:
+        """True when ``(name, index)`` is barred from admission."""
+        return (name, index) in self._blocked
+
     def clear(self) -> None:
         """Drop everything."""
         self._blocks.clear()
         self._by_file.clear()
+        self._blocked.clear()
 
     # -- introspection -------------------------------------------------
 
@@ -148,6 +172,7 @@ class DataBlockCache:
         self._blocks: "OrderedDict[Tuple[str, int], bytes]" = OrderedDict()
         self._by_file: Dict[str, Set[int]] = {}
         self._used_bytes = 0
+        self._blocked: Set[Tuple[str, int]] = set()
 
     def get(self, name: str, block_no: int) -> Optional[bytes]:
         """The decoded payload of ``block_no`` of ``name``, or None."""
@@ -161,6 +186,8 @@ class DataBlockCache:
         if len(payload) > self.capacity_bytes:
             return 0  # an oversized block would evict the whole cache
         key = (name, block_no)
+        if key in self._blocked:
+            return 0  # quarantined blocks are never re-admitted
         old = self._blocks.get(key)
         if old is not None:
             self._used_bytes -= len(old)
@@ -181,7 +208,12 @@ class DataBlockCache:
         return evicted
 
     def invalidate_file(self, name: str) -> int:
-        """Drop every cached block of ``name``; returns blocks dropped."""
+        """Drop every cached block of ``name``; returns blocks dropped.
+
+        Lifts any quarantine on the name (the file identity changed),
+        mirroring :meth:`LRUBlockCache.invalidate_file`.
+        """
+        self._blocked = {key for key in self._blocked if key[0] != name}
         indexes = self._by_file.pop(name, None)
         if not indexes:
             return 0
@@ -191,11 +223,28 @@ class DataBlockCache:
                 self._used_bytes -= len(payload)
         return len(indexes)
 
+    def quarantine(self, name: str, block_no: int) -> None:
+        """Evict one decoded block and refuse to ever re-admit it."""
+        payload = self._blocks.pop((name, block_no), None)
+        if payload is not None:
+            self._used_bytes -= len(payload)
+            indexes = self._by_file.get(name)
+            if indexes is not None:
+                indexes.discard(block_no)
+                if not indexes:
+                    del self._by_file[name]
+        self._blocked.add((name, block_no))
+
+    def is_quarantined(self, name: str, block_no: int) -> bool:
+        """True when ``(name, block_no)`` is barred from admission."""
+        return (name, block_no) in self._blocked
+
     def clear(self) -> None:
         """Drop everything."""
         self._blocks.clear()
         self._by_file.clear()
         self._used_bytes = 0
+        self._blocked.clear()
 
     def __len__(self) -> int:
         return len(self._blocks)
@@ -303,6 +352,15 @@ class CachedBlockDevice(BlockDevice):
                 if evicted:
                     self.stats.add(CACHE_EVICTIONS, evicted)
             run_start = run_end + 1
+
+    def quarantine(self, name: str, index: int) -> None:
+        """Evict one device block and bar it from re-admission.
+
+        Used by the table reader when the data decoded from this span
+        failed its checksum: the cached raw bytes are poison, and so is
+        anything the device would return for them again.
+        """
+        self.cache.quarantine(name, index)
 
     # -- writes and namespace ops (pass-through + invalidation) --------
 

@@ -1,0 +1,300 @@
+"""Deterministic storage-fault injection.
+
+:class:`FaultyBlockDevice` decorates any
+:class:`~repro.storage.block_device.BlockDevice` with the failure modes
+production disks actually exhibit, driven by a seeded
+:class:`FaultPlan` so every run — and every re-run — sees exactly the
+same faults:
+
+* **Transient read errors** — a read raises
+  :class:`~repro.errors.TransientIOError` a bounded number of times,
+  then succeeds; the cure for flaky buses, and the target of
+  :class:`~repro.storage.retry.RetryPolicy`.
+* **Bit rot** — chosen device blocks return flipped bits forever.
+  Which blocks rot is a pure function of ``(seed, file, block)``, so
+  rot is stable across reads, retries and reopens: retrying cannot fix
+  it, which is exactly what pushes the engine down the quarantine path.
+* **Torn appends** — an append writes a prefix and fails, modelling a
+  crash mid-``write()``.
+* **Disk full** — appends past a byte budget write what fits and raise
+  :class:`~repro.errors.DiskFullError`.
+* **Power cut** — one append past a byte budget persists only its
+  synced prefix and kills the device; everything afterwards raises
+  :class:`~repro.errors.PowerCutError` until :meth:`revive`, modelling
+  a machine restart.
+
+Every injected fault is counted in :class:`~repro.storage.stats.Stats`
+under the ``fault.*`` series.  Stack the decorator *under* the cache
+(``CachedBlockDevice(FaultyBlockDevice(MemoryBlockDevice()))``) so
+faults strike on cache misses, the way real media errors do.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import (
+    DiskFullError,
+    PowerCutError,
+    StorageError,
+    TransientIOError,
+)
+from repro.storage.block_device import BlockDevice
+from repro.storage.stats import (
+    FAULT_BIT_ROT_BLOCKS,
+    FAULT_DISK_FULL,
+    FAULT_POWER_CUTS,
+    FAULT_TORN_APPENDS,
+    FAULT_TRANSIENT_READS,
+    FAULTS_INJECTED,
+    Stats,
+)
+
+_RATE_BITS = 24
+_RATE_SPACE = float(1 << _RATE_BITS)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, reproducible schedule of storage faults.
+
+    All rates are probabilities in ``[0, 1]``.  Two devices built from
+    equal plans inject identical faults given identical operation
+    sequences; bit rot is even stronger — a pure function of
+    ``(seed, file name, block index)`` — so it does not depend on the
+    order of reads at all.
+    """
+
+    seed: int = 0
+    #: Probability that a read hits a transient (retryable) error.
+    transient_read_rate: float = 0.0
+    #: Consecutive failures delivered before the same read succeeds.
+    transient_fail_count: int = 1
+    #: Fraction of device blocks (of matching files) that rot.
+    bit_rot_rate: float = 0.0
+    #: Only files with these prefixes are subject to rate-based rot.
+    rot_file_prefixes: Tuple[str, ...] = ("sst-",)
+    #: Probability that an append tears (writes a prefix and fails).
+    torn_append_rate: float = 0.0
+    #: Appends past this cumulative byte budget raise DiskFullError.
+    disk_full_after_bytes: Optional[int] = None
+    #: The append crossing this budget powers the machine off.
+    power_cut_after_bytes: Optional[int] = None
+
+
+class FaultyBlockDevice(BlockDevice):
+    """A block-device decorator that injects the plan's faults.
+
+    Reads and writes otherwise pass straight through to ``inner``,
+    which keeps all raw I/O accounting; this layer only adds ``fault.*``
+    counters for what it injects.
+    """
+
+    def __init__(self, inner: BlockDevice, plan: FaultPlan,
+                 stats: Optional[Stats] = None) -> None:
+        self.inner = inner
+        self.plan = plan
+        self._rng = random.Random(plan.seed)
+        #: (name, offset, length) -> remaining transient failures; 0
+        #: means "the next identical read is guaranteed to succeed".
+        self._transient: Dict[Tuple[str, int, int], int] = {}
+        #: Blocks rotted explicitly via :meth:`inject_rot`.
+        self._forced_rot: Set[Tuple[str, int]] = set()
+        #: Rotted blocks whose corruption was already served (counted).
+        self._rot_served: Set[Tuple[str, int]] = set()
+        self._appended = 0
+        self._dead = False
+        self._power_cut_fired = False
+        super().__init__(block_size=inner.block_size,
+                         stats=stats if stats is not None else inner.stats)
+
+    # Propagate stats reassignment (LSMTree sets ``device.stats``) to
+    # the wrapped device so both layers account into the same registry.
+    @property
+    def stats(self) -> Stats:
+        return self._stats
+
+    @stats.setter
+    def stats(self, value: Stats) -> None:
+        self._stats = value
+        self.inner.stats = value
+
+    # -- fault machinery -----------------------------------------------
+
+    def _check_alive(self) -> None:
+        if self._dead:
+            raise PowerCutError(
+                "simulated machine is powered off; call revive() and "
+                "reopen the database")
+
+    def revive(self) -> None:
+        """Power the machine back on after a simulated cut.
+
+        The consumed power-cut budget stays consumed, so the device does
+        not immediately crash again; callers then *reopen* the database
+        from :attr:`inner`'s surviving bytes.
+        """
+        self._dead = False
+
+    @property
+    def powered_off(self) -> bool:
+        """True between a power cut and :meth:`revive`."""
+        return self._dead
+
+    def _block_hash(self, name: str, index: int) -> int:
+        token = f"{self.plan.seed}:{name}:{index}".encode()
+        digest = hashlib.blake2b(token, digest_size=8).digest()
+        return int.from_bytes(digest, "little")
+
+    def is_rotted(self, name: str, index: int) -> bool:
+        """Whether device block ``index`` of ``name`` is rotted."""
+        if (name, index) in self._forced_rot:
+            return True
+        plan = self.plan
+        if plan.bit_rot_rate <= 0:
+            return False
+        if not name.startswith(plan.rot_file_prefixes):
+            return False
+        draw = (self._block_hash(name, index) >> 40) & ((1 << _RATE_BITS) - 1)
+        return draw / _RATE_SPACE < plan.bit_rot_rate
+
+    def inject_rot(self, name: str, index: int) -> None:
+        """Force bit rot into one specific device block."""
+        self._forced_rot.add((name, index))
+
+    def rotted_blocks(self, name: str) -> List[int]:
+        """Device-block indexes of ``name`` currently planned to rot."""
+        nblocks = (self.inner.size(name) + self.block_size - 1) \
+            // self.block_size
+        return [i for i in range(nblocks) if self.is_rotted(name, i)]
+
+    def _maybe_transient(self, name: str, offset: int, length: int) -> None:
+        plan = self.plan
+        key = (name, offset, length)
+        state = self._transient.get(key)
+        if state is not None:
+            if state == 0:
+                # The guaranteed clean serve after the failure burst.
+                del self._transient[key]
+                return
+            self._transient[key] = state - 1
+            self._count_fault(FAULT_TRANSIENT_READS)
+            raise TransientIOError(
+                f"transient read error on {name!r} @{offset}+{length}")
+        if plan.transient_read_rate <= 0:
+            return
+        if self._rng.random() < plan.transient_read_rate:
+            self._transient[key] = plan.transient_fail_count - 1
+            self._count_fault(FAULT_TRANSIENT_READS)
+            raise TransientIOError(
+                f"transient read error on {name!r} @{offset}+{length}")
+
+    def _apply_rot(self, name: str, offset: int, data: bytes) -> bytes:
+        if not data:
+            return data
+        plan = self.plan
+        if plan.bit_rot_rate <= 0 and not self._forced_rot:
+            return data
+        block_size = self.block_size
+        first = offset // block_size
+        last = (offset + len(data) - 1) // block_size
+        out: Optional[bytearray] = None
+        for index in range(first, last + 1):
+            if not self.is_rotted(name, index):
+                continue
+            digest = self._block_hash(name, index)
+            pos = index * block_size + ((digest >> 8) % block_size)
+            if not offset <= pos < offset + len(data):
+                continue  # the rotted byte lies outside this read
+            if out is None:
+                out = bytearray(data)
+            out[pos - offset] ^= 1 << (digest & 7)
+            if (name, index) not in self._rot_served:
+                self._rot_served.add((name, index))
+                self._count_fault(FAULT_BIT_ROT_BLOCKS)
+        return bytes(out) if out is not None else data
+
+    def _count_fault(self, counter: str) -> None:
+        self.stats.add(FAULTS_INJECTED)
+        self.stats.add(counter)
+
+    def _write_prefix(self, name: str, data: bytes, fitting: int) -> None:
+        if fitting > 0:
+            self.inner.append(name, data[:fitting])
+            self._appended += fitting
+
+    # -- reads ---------------------------------------------------------
+
+    def pread(self, name: str, offset: int, length: int) -> bytes:
+        self._check_alive()
+        self._maybe_transient(name, offset, length)
+        data = self.inner.pread(name, offset, length)
+        return self._apply_rot(name, offset, data)
+
+    def pread_uncached(self, name: str, offset: int, length: int) -> bytes:
+        self._check_alive()
+        self._maybe_transient(name, offset, length)
+        data = self.inner.pread_uncached(name, offset, length)
+        return self._apply_rot(name, offset, data)
+
+    # -- writes --------------------------------------------------------
+
+    def append(self, name: str, data: bytes) -> None:
+        self._check_alive()
+        plan = self.plan
+        if (plan.power_cut_after_bytes is not None
+                and not self._power_cut_fired
+                and self._appended + len(data) > plan.power_cut_after_bytes):
+            self._write_prefix(name, data,
+                              plan.power_cut_after_bytes - self._appended)
+            self._power_cut_fired = True
+            self._dead = True
+            self._count_fault(FAULT_POWER_CUTS)
+            raise PowerCutError(
+                f"power cut during append to {name!r}; unsynced suffix lost")
+        if (plan.disk_full_after_bytes is not None
+                and self._appended + len(data) > plan.disk_full_after_bytes):
+            self._write_prefix(
+                name, data,
+                max(0, plan.disk_full_after_bytes - self._appended))
+            self._count_fault(FAULT_DISK_FULL)
+            raise DiskFullError(
+                f"device full appending {len(data)} bytes to {name!r}")
+        if (plan.torn_append_rate > 0
+                and self._rng.random() < plan.torn_append_rate):
+            cut = self._rng.randrange(len(data)) if data else 0
+            self._write_prefix(name, data, cut)
+            self._count_fault(FAULT_TORN_APPENDS)
+            raise StorageError(
+                f"torn append to {name!r}: wrote {cut}/{len(data)} bytes")
+        self.inner.append(name, data)
+        self._appended += len(data)
+
+    # -- pass-through namespace operations -----------------------------
+
+    def create(self, name: str) -> None:
+        self._check_alive()
+        self.inner.create(name)
+
+    def size(self, name: str) -> int:
+        self._check_alive()
+        return self.inner.size(name)
+
+    def delete(self, name: str) -> None:
+        self._check_alive()
+        self.inner.delete(name)
+
+    def rename(self, src: str, dst: str) -> None:
+        self._check_alive()
+        self.inner.rename(src, dst)
+
+    def exists(self, name: str) -> bool:
+        self._check_alive()
+        return self.inner.exists(name)
+
+    def list_files(self) -> List[str]:
+        self._check_alive()
+        return self.inner.list_files()

@@ -317,6 +317,26 @@ MODEL_BYTES_PERSISTED = "persist.model_bytes_written"
 RECOVERY_MANIFEST_OPENS = "recovery.manifest_opens"
 RECOVERY_SCANS = "recovery.directory_scans"
 RECOVERY_FILES_GCED = "recovery.files_gced"
+RECOVERY_TORN_TABLES = "recovery.torn_tables_quarantined"
+FAULTS_INJECTED = "fault.injected"
+FAULT_TRANSIENT_READS = "fault.transient_reads"
+FAULT_BIT_ROT_BLOCKS = "fault.bit_rot_blocks"
+FAULT_TORN_APPENDS = "fault.torn_appends"
+FAULT_DISK_FULL = "fault.disk_full"
+FAULT_POWER_CUTS = "fault.power_cuts"
+RETRY_ATTEMPTS = "retry.attempts"
+RETRY_SUCCESSES = "retry.successes"
+RETRY_EXHAUSTED = "retry.exhausted"
+QUARANTINED_BLOCKS = "quarantine.blocks"
+QUARANTINED_TABLES = "quarantine.tables"
+DEGRADED_ENTRIES = "degraded.entered"
+DEGRADED_WRITES_REJECTED = "degraded.writes_rejected"
+SCRUB_TABLES_CHECKED = "scrub.tables_checked"
+SCRUB_BLOCKS_CHECKED = "scrub.blocks_checked"
+SCRUB_BLOCKS_BAD = "scrub.blocks_bad"
+SCRUB_TABLES_REWRITTEN = "scrub.tables_rewritten"
+SCRUB_TABLES_QUARANTINED = "scrub.tables_quarantined"
+SCRUB_ENTRIES_LOST = "scrub.entries_lost"
 
 
 def _registered_counter_names() -> FrozenSet[str]:

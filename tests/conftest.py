@@ -10,6 +10,12 @@ from repro.indexes.registry import ALL_KINDS
 from repro.lsm.options import small_test_options
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "faults: slower fault-injection fuzz tests (run with -m faults)")
+
+
 @pytest.fixture(scope="session")
 def uniform_keys():
     """20k sorted unique uniform keys over the full 63-bit space."""

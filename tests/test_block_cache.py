@@ -291,3 +291,68 @@ def test_data_block_cache_rejects_negative_capacity():
     from repro.storage.block_cache import DataBlockCache
     with pytest.raises(StorageError):
         DataBlockCache(-1)
+
+
+# -- quarantine: the poisoned-block regression --------------------------
+
+
+def test_lru_cache_quarantine_blocks_readmission():
+    cache = LRUBlockCache(capacity_bytes=1024, block_size=BS)
+    cache.put("f", 3, b"x" * BS)
+    cache.quarantine("f", 3)
+    # Eviction is immediate and re-admission is refused: a reader that
+    # re-fetches the poisoned bytes must not repopulate the cache.
+    assert cache.get("f", 3) is None
+    assert cache.put("f", 3, b"x" * BS) == 0
+    assert cache.get("f", 3) is None
+    assert cache.is_quarantined("f", 3)
+    # Other blocks of the same file are unaffected.
+    cache.put("f", 4, b"y" * BS)
+    assert cache.get("f", 4) == b"y" * BS
+    # Whole-file invalidation changes the identity and lifts the bar.
+    cache.invalidate_file("f")
+    assert not cache.is_quarantined("f", 3)
+    cache.put("f", 3, b"z" * BS)
+    assert cache.get("f", 3) == b"z" * BS
+
+
+def test_data_block_cache_quarantine_blocks_readmission():
+    from repro.storage.block_cache import DataBlockCache
+    cache = DataBlockCache(1024)
+    cache.put("f", 0, b"decoded")
+    cache.quarantine("f", 0)
+    assert cache.get("f", 0) is None
+    assert cache.put("f", 0, b"decoded") == 0
+    assert cache.is_quarantined("f", 0)
+    cache.invalidate_file("f")
+    assert not cache.is_quarantined("f", 0)
+
+
+def test_cached_device_quarantine_never_recaches_the_block():
+    cached, inner = _device()
+    stats = cached.stats
+    cached.pread("f", 0, 4 * BS)  # warm blocks 0-3
+    assert len(cached.cache) == 4
+    cached.quarantine("f", 1)
+    assert len(cached.cache) == 3
+    before = stats.get(CACHE_MISSES)
+    for _ in range(3):
+        # The bytes still arrive (from the device), but block 1 misses
+        # every time and is never re-admitted.
+        assert cached.pread("f", BS, BS) == bytes(range(256))[:BS]
+        assert not cached.cache.get("f", 1)
+    assert stats.get(CACHE_MISSES) == before + 3
+    assert len(cached.cache) == 3
+
+
+def test_rename_lifts_quarantine_with_the_old_identity():
+    cached, inner = _device()
+    cached.pread("f", 0, BS)
+    cached.quarantine("f", 0)
+    cached.rename("f", "g")
+    # The poison belonged to the *old* bytes under the old name; a new
+    # file reusing either name starts clean.
+    assert not cached.cache.is_quarantined("f", 0)
+    assert not cached.cache.is_quarantined("g", 0)
+    assert cached.pread("g", 0, BS) == bytes(range(256))[:BS]
+    assert cached.cache.get("g", 0) is not None

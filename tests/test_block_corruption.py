@@ -25,7 +25,8 @@ from repro.lsm.sstable import (
 from repro.storage.block_cache import CachedBlockDevice, DataBlockCache
 from repro.storage.block_device import MemoryBlockDevice
 from repro.storage.cost_model import CostModel
-from repro.storage.stats import CHECKSUM_FAILURES, Stats
+from repro.storage.stats import (CHECKSUM_FAILURES,
+                                 QUARANTINED_BLOCKS, Stats)
 
 NAME = "sst-000001"
 
@@ -159,7 +160,11 @@ def test_corrupt_block_poisons_only_itself():
     assert errors >= per
     assert hits > len(keys) // 2
     assert hits + errors == len(keys)
-    assert reopened.stats.get(CHECKSUM_FAILURES) == errors
+    # The first failing fetch verifies (and fails) the CRC once; every
+    # later lookup fails fast on the quarantine without re-reading.
+    assert reopened.stats.get(CHECKSUM_FAILURES) == 1
+    assert reopened.stats.get(QUARANTINED_BLOCKS) == 1
+    assert reopened.quarantined_blocks == {victim_block}
 
 
 def test_corrupt_block_fails_again_after_reopen():

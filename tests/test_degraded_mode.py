@@ -1,0 +1,210 @@
+"""Degraded-mode behaviour: read-only entry, health, per-key errors."""
+
+import pytest
+
+from repro.errors import (
+    QuarantinedBlockError,
+    ReadOnlyModeError,
+)
+from repro.indexes.registry import IndexKind
+from repro.lsm.db import LSMTree
+from repro.lsm.options import small_test_options
+from repro.lsm.write_batch import WriteBatch
+from repro.service.sharded import ShardedDB
+from repro.storage.block_device import MemoryBlockDevice
+from repro.storage.faults import FaultPlan, FaultyBlockDevice
+from repro.storage.stats import (
+    DEGRADED_ENTRIES,
+    DEGRADED_WRITES_REJECTED,
+)
+
+
+def _db_on_faulty(plan, **option_changes):
+    options = small_test_options(index_kind=IndexKind.PGM,
+                                 **option_changes)
+    inner = MemoryBlockDevice(block_size=options.block_size)
+    faulty = FaultyBlockDevice(inner, plan)
+    return LSMTree(options, device=faulty), faulty, options
+
+
+# -- WAL failure -> read-only ------------------------------------------
+
+
+def test_wal_append_failure_enters_read_only():
+    db, faulty, _ = _db_on_faulty(
+        FaultPlan(seed=1, disk_full_after_bytes=600), enable_wal=True)
+    written = []
+    with pytest.raises(ReadOnlyModeError):
+        for key in range(10_000):
+            db.put(key, b"v%d" % key)
+            written.append(key)
+    assert db.read_only
+    assert "WAL append failed" in db.read_only_reason
+    # The failed record was never applied; every acknowledged one reads.
+    for key in written:
+        assert db.get(key) == b"v%d" % key
+    assert db.get(written[-1] + 1) is None
+    # Writes of every kind are rejected with the typed error...
+    for attempt in (lambda: db.put(1, b"x"), lambda: db.delete(1),
+                    lambda: db.write(WriteBatch().put(2, b"y")),
+                    lambda: db.flush()):
+        with pytest.raises(ReadOnlyModeError) as excinfo:
+            attempt()
+        assert "WAL append failed" in excinfo.value.reason
+    # ...and counted; the mode was entered exactly once.
+    assert db.stats.get(DEGRADED_ENTRIES) == 1
+    assert db.stats.get(DEGRADED_WRITES_REJECTED) >= 4
+
+
+def test_batch_write_failure_applies_nothing():
+    db, faulty, _ = _db_on_faulty(
+        FaultPlan(seed=1, disk_full_after_bytes=100), enable_wal=True)
+    batch = WriteBatch()
+    for key in range(50):
+        batch.put(key, b"v")
+    with pytest.raises(ReadOnlyModeError):
+        db.write(batch)
+    # Group commit failed -> no record of the batch is visible.
+    assert all(db.get(key) is None for key in range(50))
+
+
+def test_flush_disk_full_enters_read_only_but_keeps_reads():
+    db, faulty, _ = _db_on_faulty(
+        FaultPlan(seed=2, disk_full_after_bytes=4096))
+    accepted = []
+    with pytest.raises(ReadOnlyModeError):
+        # Eventually a put fills the write buffer, the auto-flush hits
+        # the full disk, and the engine degrades mid-stream.
+        for key in range(10_000):
+            db.put(key, b"v%d" % key)
+            accepted.append(key)
+    assert db.read_only
+    assert "flush failed" in db.read_only_reason
+    # The memtable still serves every write that was accepted.
+    assert accepted
+    assert all(db.get(key) == b"v%d" % key for key in accepted)
+    health = db.health()
+    assert health["status"] == "read_only"
+    assert "flush failed" in health["reason"]
+
+
+def test_health_reports_ok_when_nothing_is_wrong():
+    db = LSMTree(small_test_options(index_kind=IndexKind.PGM))
+    db.put(1, b"x")
+    assert db.health() == {"status": "ok", "reason": None,
+                           "quarantined_blocks": 0,
+                           "quarantined_tables": 0}
+
+
+def test_health_degraded_on_quarantined_blocks():
+    db, faulty, _ = _db_on_faulty(FaultPlan(seed=3))
+    db.bulk_ingest(list(range(2000)))
+    level, meta = db.version.all_files()[0]
+    _, offset, _, _ = meta.table.handles[0]
+    faulty.inject_rot(meta.table.name, offset // faulty.block_size)
+    with pytest.raises(QuarantinedBlockError):
+        for key in range(2000):
+            db.get(key)
+    health = db.health()
+    assert health["status"] == "degraded"
+    assert health["quarantined_blocks"] == 1
+    assert not db.read_only  # degraded reads-wise, still writable
+
+
+# -- per-key multi_get errors ------------------------------------------
+
+
+@pytest.mark.parametrize("granularity", ["file", "level"])
+def test_multi_get_isolates_poisoned_keys(granularity):
+    from repro.lsm.options import Granularity
+
+    db, faulty, options = _db_on_faulty(
+        FaultPlan(seed=4),
+        granularity=(Granularity.LEVEL if granularity == "level"
+                     else Granularity.FILE))
+    keys = list(range(4000))
+    db.bulk_ingest(keys)
+    level, meta = next((l, m) for l, m in db.version.all_files())
+    victim_block = meta.table.handles[len(meta.table.handles) // 2]
+    faulty.inject_rot(meta.table.name,
+                      victim_block[1] // faulty.block_size)
+    failed = set()
+    for key in keys:
+        try:
+            db.get(key)
+        except QuarantinedBlockError:
+            failed.add(key)
+    assert failed  # the rotted block serves some keys
+    errors = {}
+    values = db.multi_get(keys, errors=errors)
+    assert set(errors) == failed
+    for key, value in zip(keys, values):
+        if key in failed:
+            assert isinstance(value, QuarantinedBlockError)
+            assert value.file == meta.table.name
+        else:
+            assert value == (b"v%x" % key)[:options.value_capacity]
+
+
+def test_multi_get_without_errors_dict_raises():
+    db, faulty, _ = _db_on_faulty(FaultPlan(seed=4))
+    keys = list(range(4000))
+    db.bulk_ingest(keys)
+    level, meta = db.version.all_files()[0]
+    faulty.inject_rot(meta.table.name,
+                      meta.table.handles[0][1] // faulty.block_size)
+    with pytest.raises(QuarantinedBlockError):
+        db.multi_get(keys)
+
+
+# -- sharded fleet ------------------------------------------------------
+
+
+def test_sharded_health_isolates_the_sick_shard():
+    options = small_test_options(index_kind=IndexKind.PGM)
+    plans = [FaultPlan(seed=i) for i in range(3)]
+    devices = [FaultyBlockDevice(
+        MemoryBlockDevice(block_size=options.block_size), plan)
+        for plan in plans]
+    sdb = ShardedDB(num_shards=3, options=options, devices=devices,
+                    observe=False)
+    keys = list(range(6000))
+    sdb.bulk_ingest(keys)
+    assert sdb.health()["status"] == "ok"
+    # Poison one block on shard 1 and trip its quarantine.
+    sick = sdb.shards[1]
+    level, meta = sick.version.all_files()[0]
+    devices[1].inject_rot(meta.table.name,
+                          meta.table.handles[0][1] // devices[1].block_size)
+    failed = []
+    for key in keys:
+        try:
+            sdb.get(key)
+        except QuarantinedBlockError:
+            failed.append(key)
+    assert failed
+    assert all(sdb.router.shard_for(key) == 1 for key in failed)
+    health = sdb.health()
+    assert health["status"] == "degraded"
+    by_shard = {entry["shard"]: entry["status"]
+                for entry in health["shards"]}
+    assert by_shard[1] == "degraded"
+    assert by_shard[0] == by_shard[2] == "ok"
+    # Batched reads across shards isolate exactly the poisoned keys.
+    errors = {}
+    sdb.multi_get(keys, errors=errors)
+    assert set(errors) == set(failed)
+
+
+def test_sharded_scrub_merges_reports():
+    options = small_test_options(index_kind=IndexKind.PGM)
+    devices = [FaultyBlockDevice(
+        MemoryBlockDevice(block_size=options.block_size), FaultPlan(seed=i))
+        for i in range(2)]
+    sdb = ShardedDB(num_shards=2, options=options, devices=devices,
+                    observe=False)
+    sdb.bulk_ingest(list(range(4000)))
+    report = sdb.scrub()
+    assert report.clean
+    assert report.tables_checked == sum(
+        shard.version.file_count() for shard in sdb.shards)
