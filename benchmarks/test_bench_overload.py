@@ -1,0 +1,10 @@
+"""Benchmark: open-loop overload — goodput, shedding, retry budgets."""
+
+from conftest import assert_checks, run_once
+
+from repro.bench.experiments import overload_study
+
+
+def test_overload_study(benchmark, bench_scale):
+    result = run_once(benchmark, overload_study.run, scale=bench_scale)
+    assert_checks(result)

@@ -22,11 +22,15 @@ paper's experiments.
 """
 
 from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
     DiskFullError,
     PowerCutError,
     QuarantinedBlockError,
     ReadOnlyModeError,
     ReproError,
+    RequestRejectedError,
+    ShedError,
     TransientIOError,
 )
 from repro.indexes import (
@@ -38,7 +42,7 @@ from repro.indexes import (
     SearchBound,
 )
 from repro.lsm import LSMTree, Options, ScrubReport, WriteBatch
-from repro.service import HashRouter, ShardedDB
+from repro.service import Gateway, GatewayConfig, HashRouter, ShardedDB
 from repro.storage import (
     CostModel,
     FaultPlan,
@@ -58,6 +62,10 @@ __all__ = [
     "PowerCutError",
     "ReadOnlyModeError",
     "QuarantinedBlockError",
+    "RequestRejectedError",
+    "DeadlineExceededError",
+    "ShedError",
+    "CircuitOpenError",
     "FaultPlan",
     "FaultyBlockDevice",
     "RetryPolicy",
@@ -73,6 +81,8 @@ __all__ = [
     "WriteBatch",
     "ShardedDB",
     "HashRouter",
+    "Gateway",
+    "GatewayConfig",
     "CostModel",
     "MemoryBlockDevice",
     "Stats",

@@ -23,6 +23,7 @@ from repro.bench.experiments import (
     hardware_study,
     multiget_study,
     obs_study,
+    overload_study,
     recovery_study,
     service_study,
     table1_stage_times,
@@ -50,6 +51,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     blocks_study.EXPERIMENT_ID: blocks_study.run,
     faults_study.EXPERIMENT_ID: faults_study.run,
     obs_study.EXPERIMENT_ID: obs_study.run,
+    overload_study.EXPERIMENT_ID: overload_study.run,
 }
 
 TITLES: Dict[str, str] = {
@@ -72,6 +74,7 @@ TITLES: Dict[str, str] = {
     blocks_study.EXPERIMENT_ID: blocks_study.TITLE,
     faults_study.EXPERIMENT_ID: faults_study.TITLE,
     obs_study.EXPERIMENT_ID: obs_study.TITLE,
+    overload_study.EXPERIMENT_ID: overload_study.TITLE,
 }
 
 __all__ = ["EXPERIMENTS", "TITLES"]

@@ -118,6 +118,72 @@ class QuarantinedBlockError(ChecksumError):
         self.block = block
 
 
+class RequestRejectedError(ReproError):
+    """Base class for overload-control rejections at the serving tier.
+
+    These are *flow-control* outcomes, not corruption or crashes: the
+    request gateway refused (or abandoned) work to protect latency for
+    everything else.  Clients distinguish them from storage faults
+    because the right reaction differs — back off, don't retry hot.
+    """
+
+
+class DeadlineExceededError(RequestRejectedError):
+    """A request ran out of its simulated-microsecond deadline.
+
+    Raised by the gateway when a queued request expires before service
+    starts (expired-at-dequeue) and by the LSM read path's deadline
+    checkpoints when an executing lookup's accumulated simulated time
+    crosses the budget mid-operation.  ``deadline_us`` is the absolute
+    simulated deadline; ``now_us`` is where the clock stood when the
+    request was abandoned.
+    """
+
+    def __init__(self, deadline_us: float, now_us: float,
+                 where: str = "") -> None:
+        suffix = f" in {where}" if where else ""
+        super().__init__(
+            f"deadline exceeded{suffix}: now={now_us:.1f}us > "
+            f"deadline={deadline_us:.1f}us")
+        self.deadline_us = deadline_us
+        self.now_us = now_us
+        self.where = where
+
+
+class ShedError(RequestRejectedError):
+    """Admission control dropped a request because a queue was full.
+
+    Depth-based shedding: when a shard's bounded FIFO already holds
+    ``queue_depth`` requests, new arrivals are rejected immediately
+    instead of queueing unboundedly — bounded queues are what keep p99
+    finite under overload.  ``shard`` names the saturated queue and
+    ``depth`` its configured bound.
+    """
+
+    def __init__(self, shard: int, depth: int) -> None:
+        super().__init__(
+            f"shard {shard} queue full (depth {depth}); request shed")
+        self.shard = shard
+        self.depth = depth
+
+
+class CircuitOpenError(RequestRejectedError):
+    """A request was failed fast by an open per-shard circuit breaker.
+
+    The breaker opened because the shard's recent error rate crossed
+    the threshold (or its ``health()`` degraded to read-only); until
+    the cooldown elapses and half-open probes succeed, requests fail
+    here — in microseconds — instead of queueing behind a sick shard.
+    """
+
+    def __init__(self, shard: int, reason: str = "") -> None:
+        detail = f": {reason}" if reason else ""
+        super().__init__(
+            f"shard {shard} circuit breaker is open{detail}")
+        self.shard = shard
+        self.reason = reason
+
+
 class IndexBuildError(ReproError):
     """Raised when a learned index cannot be constructed over the given keys."""
 

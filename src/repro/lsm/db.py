@@ -23,13 +23,16 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import (
     DatabaseClosedError,
+    DeadlineExceededError,
     DiskFullError,
     InvalidOptionError,
     PowerCutError,
     QuarantinedBlockError,
     ReadOnlyModeError,
+    ReproError,
     StorageError,
 )
+from repro.lsm.deadline import DeadlineToken
 from repro.lsm.compaction import CompactionOutcome, Compactor
 from repro.lsm.iterators import (
     DBIterator,
@@ -72,6 +75,7 @@ from repro.storage.stats import (
     FLUSHES,
     MULTIGET_BATCHES,
     MULTIGET_KEYS,
+    OVERLOAD_DEADLINE_EXCEEDED,
     POINT_LOOKUPS,
     RANGE_LOOKUPS,
     RECOVERY_FILES_GCED,
@@ -147,6 +151,11 @@ class LSMTree:
         #: Degraded mode: None = healthy, else the reason writes are
         #: rejected.  Reads keep working; see :meth:`health`.
         self._read_only_reason: Optional[str] = None
+        #: Cooperative cancellation: the gateway attaches a
+        #: :class:`~repro.lsm.deadline.DeadlineToken` here around one
+        #: operation; the read path checks it per level and abandons
+        #: work past the budget.  None (the default) costs nothing.
+        self.deadline: Optional[DeadlineToken] = None
         #: Names of tables scrub retired as unsalvageable (renamed to a
         #: ``quar-`` prefix on the device for offline forensics).
         self._quarantined_tables: List[str] = []
@@ -747,8 +756,8 @@ class LSMTree:
     def multi_get(
         self, keys: Sequence[int],
         coalesce: Optional[bool] = None,
-        errors: Optional[Dict[int, QuarantinedBlockError]] = None,
-    ) -> List[Union[bytes, QuarantinedBlockError, None]]:
+        errors: Optional[Dict[int, ReproError]] = None,
+    ) -> List[Union[bytes, ReproError, None]]:
         """Batched point lookups; results in request order.
 
         Equivalent to ``[self.get(k) for k in keys]`` but the batch
@@ -770,7 +779,8 @@ class LSMTree:
         call (the ``multiget`` experiment's control arm).
 
         Pass an ``errors`` dict to get per-key fault isolation: a key
-        whose lookup hits a quarantined block is recorded there (and its
+        whose lookup hits a quarantined block — or whose turn comes
+        after an attached deadline expired — is recorded there (and its
         result slot holds the exception instance) instead of failing
         the whole batch — every healthy key still returns its value.
         Without ``errors`` the first quarantined read raises, matching
@@ -792,8 +802,8 @@ class LSMTree:
 
     def _do_multi_get(
         self, keys: Sequence[int], coalesce: bool,
-        errors: Optional[Dict[int, QuarantinedBlockError]],
-    ) -> List[Union[bytes, QuarantinedBlockError, None]]:
+        errors: Optional[Dict[int, ReproError]],
+    ) -> List[Union[bytes, ReproError, None]]:
         self.stats.add(POINT_LOOKUPS, len(keys))
         self.stats.add(MULTIGET_BATCHES)
         self.stats.add(MULTIGET_KEYS, len(keys))
@@ -811,6 +821,22 @@ class LSMTree:
                 break
             if not self.version.levels[level]:
                 continue
+            if self.deadline is not None and self.deadline.expired():
+                if errors is None:
+                    self.deadline.check(where=f"multi_get level {level}")
+                # Partial degradation: keys resolved so far keep their
+                # values; every still-unresolved key surfaces the typed
+                # error through the errors={} protocol instead of
+                # failing the whole batch.
+                self.stats.add(OVERLOAD_DEADLINE_EXCEEDED)
+                overdue = DeadlineExceededError(
+                    self.deadline.deadline_us,
+                    self.deadline.deadline_us - self.deadline.remaining_us(),
+                    where=f"multi_get level {level}")
+                for key in remaining:
+                    errors[key] = overdue
+                remaining = []
+                break
             before = self.stats.read_time()
             found = self._search_level_batch(level, remaining, coalesce,
                                              errors)
@@ -952,6 +978,11 @@ class LSMTree:
         for level in range(self.options.max_levels):
             if not self.version.levels[level]:
                 continue
+            # Deadline checkpoint: one attribute test per non-empty
+            # level; a request past its budget stops descending here
+            # instead of walking the rest of the tree for a dead client.
+            if self.deadline is not None:
+                self.deadline.check(where=f"get level {level}")
             before = self.stats.read_time()
             record = self._search_level(level, key)
             elapsed = self.stats.read_time() - before

@@ -1,0 +1,71 @@
+"""Deadline propagation for the simulated-time read path.
+
+Under overload an operation that has already outlived its deadline is
+pure waste: the client stopped waiting, yet the shard keeps burning
+simulated service time on it, inflating queueing delay for every
+request behind it.  The fix is cooperative cancellation — the engine
+checks an attached :class:`DeadlineToken` at cheap, coarse checkpoints
+(per level of the read path) and abandons the walk once the budget is
+gone.
+
+Time here is *simulated* microseconds: a token captures the tree's
+``stats.total_time()`` at creation, and ``elapsed`` is the simulated
+work charged since.  That keeps deadline semantics exactly as
+deterministic as the rest of the cost model — no wall clock anywhere.
+
+The gateway attaches a token to ``LSMTree.deadline`` for the duration
+of one operation (try/finally); a tree with ``deadline is None`` — the
+default, and every non-gateway caller — pays one attribute check and
+no behaviour change.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import DeadlineExceededError
+from repro.storage.stats import OVERLOAD_DEADLINE_EXCEEDED, Stats
+
+
+class DeadlineToken:
+    """A simulated-µs budget for one operation against one tree.
+
+    ``stats`` must be the tree's own :class:`Stats` — the token meters
+    the simulated time *that tree* charges, which is the single-server
+    service time the queueing model reasons about.
+    """
+
+    def __init__(self, stats: Stats, budget_us: float,
+                 deadline_us: Optional[float] = None) -> None:
+        self.stats = stats
+        self.start_us = stats.total_time()
+        self.budget_us = budget_us
+        #: Absolute simulated deadline on the *gateway* clock, carried
+        #: for error messages; the expiry test uses the local budget.
+        self.deadline_us = (deadline_us if deadline_us is not None
+                            else self.start_us + budget_us)
+
+    def elapsed_us(self) -> float:
+        """Simulated work charged to the tree since the token was made."""
+        return self.stats.total_time() - self.start_us
+
+    def remaining_us(self) -> float:
+        """Budget left; negative once the operation is overdue."""
+        return self.budget_us - self.elapsed_us()
+
+    def expired(self) -> bool:
+        return self.elapsed_us() > self.budget_us
+
+    def check(self, where: str = "") -> None:
+        """Raise :class:`DeadlineExceededError` if the budget is spent.
+
+        Counts ``overload.deadline_exceeded`` on the tree's stats so
+        mid-operation abandonment is visible next to the gateway's
+        queue-level drops.
+        """
+        if self.expired():
+            self.stats.add(OVERLOAD_DEADLINE_EXCEEDED)
+            raise DeadlineExceededError(
+                self.deadline_us,
+                self.deadline_us + (self.elapsed_us() - self.budget_us),
+                where=where)

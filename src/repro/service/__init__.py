@@ -6,6 +6,10 @@ adds the system-level tier a production deployment puts on top:
 * :class:`~repro.service.sharded.ShardedDB` — hash-partitions the key
   space over N independent :class:`~repro.lsm.db.LSMTree` shards with
   merged cross-shard scans and aggregated stats;
+* :class:`~repro.service.gateway.Gateway` — overload control in front
+  of the shards: open-loop arrivals on a virtual clock, bounded
+  per-shard queues with shedding, deadline propagation, per-shard
+  circuit breakers and a client retry budget;
 * :class:`~repro.lsm.write_batch.WriteBatch` (re-exported) — multi-key
   updates applied through one WAL group commit per shard;
 * the LRU block cache (``Options.cache_bytes`` +
@@ -18,6 +22,16 @@ write-batching amortization (``repro-bench service``).
 """
 
 from repro.lsm.write_batch import WriteBatch
+from repro.service.gateway import (
+    CircuitBreaker,
+    Gateway,
+    GatewayConfig,
+    GatewayReport,
+    Request,
+    RetryBudget,
+    VirtualClock,
+    requests_from_ycsb,
+)
 from repro.service.router import HashRouter, mix64
 from repro.service.sharded import ShardedDB
 
@@ -26,4 +40,12 @@ __all__ = [
     "HashRouter",
     "WriteBatch",
     "mix64",
+    "Gateway",
+    "GatewayConfig",
+    "GatewayReport",
+    "CircuitBreaker",
+    "RetryBudget",
+    "Request",
+    "VirtualClock",
+    "requests_from_ycsb",
 ]

@@ -23,8 +23,9 @@ import heapq
 from operator import itemgetter
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import InvalidOptionError, QuarantinedBlockError
+from repro.errors import InvalidOptionError, ReproError
 from repro.lsm.db import LSMTree
+from repro.lsm.record import KIND_VALUE
 from repro.lsm.scrub import ScrubReport
 from repro.lsm.options import Options
 from repro.lsm.write_batch import WriteBatch
@@ -63,6 +64,9 @@ class ShardedDB:
                     device=devices[i] if devices is not None else None)
             for i in range(num_shards)
         ]
+        #: Set by :class:`repro.service.gateway.Gateway` when one is
+        #: attached; :meth:`health` then reports breaker/queue state.
+        self._gateway = None
         self._init_observability(observe, sample_every, metrics_sink)
 
     def _init_observability(self, observe: bool, sample_every: int,
@@ -114,6 +118,7 @@ class ShardedDB:
         db = cls.__new__(cls)
         db.router = HashRouter(num_shards)
         db.options = options
+        db._gateway = None
         db.registries = []
         db.tracers = []
         db._metrics_sink = metrics_sink
@@ -161,7 +166,7 @@ class ShardedDB:
 
     def multi_get(self, keys: Sequence[int],
                   coalesce: Optional[bool] = None,
-                  errors: Optional[Dict[int, QuarantinedBlockError]] = None,
+                  errors: Optional[Dict[int, ReproError]] = None,
                   ) -> List[Optional[bytes]]:
         """Batched point lookups; results reassembled in request order.
 
@@ -195,9 +200,29 @@ class ShardedDB:
         per-shard (as in any sharded store without a distributed
         transaction log); per-key semantics are unaffected because a
         key always lives on exactly one shard.
+
+        Rejection is all-or-nothing: *every* touched shard is checked
+        (writable, values within capacity) before the *first* group
+        commit, so a batch that any shard would refuse raises with no
+        shard mutated — an acknowledgment never covers a partial
+        cross-shard application.  Mid-commit device faults can still
+        degrade a shard after earlier shards committed (that is the
+        no-distributed-log trade-off), but a *refusal* the front-end
+        can predict never splits a batch.
         """
+        split = sorted(self.router.split(batch).items())
+        for shard, part in split:
+            tree = self.shards[shard]
+            tree._check_open()
+            tree._check_writable()
+            for kind, _, value in part:
+                if kind == KIND_VALUE \
+                        and len(value) > self.options.value_capacity:
+                    raise InvalidOptionError(
+                        f"value of {len(value)} bytes exceeds "
+                        f"value_capacity {self.options.value_capacity}")
         applied = 0
-        for shard, part in sorted(self.router.split(batch).items()):
+        for shard, part in split:
             applied += self.shards[shard].write(part)
         return applied
 
@@ -255,6 +280,11 @@ class ShardedDB:
         for i, shard in enumerate(self.shards):
             entry: Dict[str, object] = {"shard": i}
             entry.update(shard.health())
+            if self._gateway is not None:
+                # Overload is a health dimension too: an operator
+                # looking at a "healthy" shard shedding half its queue
+                # needs to see that here, not only in bench reports.
+                entry.update(self._gateway.shard_health(i))
             shards.append(entry)
         worst = "ok"
         if any(entry["status"] == "degraded" for entry in shards):

@@ -50,6 +50,7 @@ from repro.storage.stats import (
     FAULT_TORN_APPENDS,
     FAULT_TRANSIENT_READS,
     FAULTS_INJECTED,
+    Stage,
     Stats,
 )
 
@@ -73,6 +74,13 @@ class FaultPlan:
     transient_read_rate: float = 0.0
     #: Consecutive failures delivered before the same read succeeds.
     transient_fail_count: int = 1
+    #: Simulated microseconds a transient failure *costs* before it is
+    #: reported — the detection timeout of a flaky read (a real SCSI
+    #: timeout is tens of milliseconds, dwarfing a healthy read).
+    #: Charged to the IO stage, so a failed attempt occupies simulated
+    #: capacity; this is what makes unbounded retries expensive at
+    #: saturation.  0 keeps PR 6's instant-failure behaviour.
+    transient_timeout_us: float = 0.0
     #: Fraction of device blocks (of matching files) that rot.
     bit_rot_rate: float = 0.0
     #: Only files with these prefixes are subject to rate-based rot.
@@ -181,16 +189,21 @@ class FaultyBlockDevice(BlockDevice):
                 del self._transient[key]
                 return
             self._transient[key] = state - 1
-            self._count_fault(FAULT_TRANSIENT_READS)
-            raise TransientIOError(
-                f"transient read error on {name!r} @{offset}+{length}")
+            self._fail_transient(name, offset, length)
         if plan.transient_read_rate <= 0:
             return
         if self._rng.random() < plan.transient_read_rate:
             self._transient[key] = plan.transient_fail_count - 1
-            self._count_fault(FAULT_TRANSIENT_READS)
-            raise TransientIOError(
-                f"transient read error on {name!r} @{offset}+{length}")
+            self._fail_transient(name, offset, length)
+
+    def _fail_transient(self, name: str, offset: int, length: int) -> None:
+        if self.plan.transient_timeout_us > 0:
+            # Failure detection is not free: the caller waited out the
+            # timeout before learning anything.
+            self.stats.charge(Stage.IO, self.plan.transient_timeout_us)
+        self._count_fault(FAULT_TRANSIENT_READS)
+        raise TransientIOError(
+            f"transient read error on {name!r} @{offset}+{length}")
 
     def _apply_rot(self, name: str, offset: int, data: bytes) -> bytes:
         if not data:

@@ -331,6 +331,23 @@ QUARANTINED_BLOCKS = "quarantine.blocks"
 QUARANTINED_TABLES = "quarantine.tables"
 DEGRADED_ENTRIES = "degraded.entered"
 DEGRADED_WRITES_REJECTED = "degraded.writes_rejected"
+OVERLOAD_REQUESTS = "overload.requests"
+OVERLOAD_ADMITTED = "overload.admitted"
+OVERLOAD_SHED = "overload.shed"
+OVERLOAD_EXPIRED_AT_DEQUEUE = "overload.expired_at_dequeue"
+OVERLOAD_DEADLINE_EXCEEDED = "overload.deadline_exceeded"
+OVERLOAD_COMPLETED = "overload.completed"
+OVERLOAD_COMPLETED_LATE = "overload.completed_late"
+OVERLOAD_FAILED = "overload.failed"
+QUEUE_ENQUEUES = "queue.enqueues"
+QUEUE_DELAY_US = "queue.delay_us"
+BREAKER_OPENS = "breaker.opens"
+BREAKER_HALF_OPENS = "breaker.half_opens"
+BREAKER_CLOSES = "breaker.closes"
+BREAKER_REJECTED = "breaker.rejected"
+RETRY_CLIENT_RESUBMITS = "retry.client_resubmits"
+RETRY_BUDGET_SPENT = "retry.budget_spent"
+RETRY_BUDGET_DENIED = "retry.budget_denied"
 SCRUB_TABLES_CHECKED = "scrub.tables_checked"
 SCRUB_BLOCKS_CHECKED = "scrub.blocks_checked"
 SCRUB_BLOCKS_BAD = "scrub.blocks_bad"

@@ -1,5 +1,10 @@
 """Workload generation: SOSD-style datasets and YCSB operation streams."""
 
+from repro.workloads.arrivals import (
+    BurstyArrivals,
+    PoissonArrivals,
+    index_of_dispersion,
+)
 from repro.workloads.datasets import (
     DATASET_NAMES,
     KEY_SPACE,
@@ -33,6 +38,9 @@ from repro.workloads.ycsb import (
 )
 
 __all__ = [
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "index_of_dispersion",
     "DATASET_NAMES",
     "KEY_SPACE",
     "generate",

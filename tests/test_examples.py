@@ -15,6 +15,7 @@ _EXAMPLES = [
     "trace_replay.py",
     "sharded_service.py",
     "checkpoint_restore.py",
+    "overload_gateway.py",
 ]
 
 _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))

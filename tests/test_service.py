@@ -215,3 +215,73 @@ def test_replay_rejects_bad_batch_size():
     db = ShardedDB(num_shards=1, options=small_test_options())
     with pytest.raises(WorkloadError):
         replay(db, [], write_batch_size=0)
+
+
+# -- write acknowledgment semantics under rejection ---------------------
+
+def _fleet_snapshot(db, keys):
+    """Every shard's view of ``keys`` (None for absent)."""
+    return [[shard.get(key) for key in keys] for shard in db.shards]
+
+
+def test_write_rejection_applies_nothing_property():
+    """Property: a batch any shard would refuse mutates *no* shard.
+
+    Random multi-shard batches against a fleet where one random shard
+    is read-only: every rejected batch must leave all shards exactly
+    as they were (no partial cross-shard application acknowledged),
+    and once the shard heals the same batch applies everywhere.
+    """
+    from repro.errors import ReadOnlyModeError
+
+    rng = random.Random(0xD15EA5E)
+    for trial in range(20):
+        db = ShardedDB(num_shards=4, options=small_test_options())
+        preload = {key: b"old%d" % key for key in range(40)}
+        for key, value in preload.items():
+            db.put(key, value)
+        sick = rng.randrange(4)
+        db.shards[sick]._enter_read_only("fuzz: simulated media damage")
+        batch = WriteBatch()
+        batch_keys = rng.sample(range(200), rng.randrange(4, 24))
+        touched_shards = {db.shard_for(key) for key in batch_keys}
+        for key in batch_keys:
+            if rng.random() < 0.8 or key not in preload:
+                batch.put(key, b"new%d" % key)
+            else:
+                batch.delete(key)
+        probe = sorted(set(batch_keys) | set(preload))
+        before = _fleet_snapshot(db, probe)
+        if sick in touched_shards:
+            with pytest.raises(ReadOnlyModeError):
+                db.write(batch)
+            assert _fleet_snapshot(db, probe) == before, \
+                f"trial {trial}: rejected batch partially applied"
+        else:
+            assert db.write(batch) == len(batch)
+        # Heal and re-apply: now every record must land.
+        db.shards[sick]._read_only_reason = None
+        db.write(batch)
+        expected = dict(preload)
+        for kind, key, value in batch:
+            expected[key] = value if value else None
+        for key in probe:
+            want = expected.get(key)
+            if want == b"":
+                want = None
+            assert db.get(key) == want, f"trial {trial} key {key}"
+        db.close()
+
+
+def test_write_rejects_oversized_value_before_any_commit():
+    db = ShardedDB(num_shards=4, options=small_test_options())
+    cap = db.options.value_capacity
+    batch = WriteBatch()
+    for key in range(12):
+        batch.put(key, b"ok")
+    batch.put(99, b"x" * (cap + 1))
+    with pytest.raises(InvalidOptionError):
+        db.write(batch)
+    assert all(db.get(key) is None for key in range(12)), \
+        "an invalid batch must not be partially applied"
+    db.close()
