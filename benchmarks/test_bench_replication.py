@@ -1,0 +1,10 @@
+"""Benchmark: per-shard replication — failover, durability, availability."""
+
+from conftest import assert_checks, run_once
+
+from repro.bench.experiments import replication_study
+
+
+def test_replication_study(benchmark, bench_scale):
+    result = run_once(benchmark, replication_study.run, scale=bench_scale)
+    assert_checks(result)

@@ -25,6 +25,7 @@ from repro.bench.experiments import (
     obs_study,
     overload_study,
     recovery_study,
+    replication_study,
     service_study,
     table1_stage_times,
     tiering_study,
@@ -52,6 +53,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     faults_study.EXPERIMENT_ID: faults_study.run,
     obs_study.EXPERIMENT_ID: obs_study.run,
     overload_study.EXPERIMENT_ID: overload_study.run,
+    replication_study.EXPERIMENT_ID: replication_study.run,
 }
 
 TITLES: Dict[str, str] = {
@@ -75,6 +77,7 @@ TITLES: Dict[str, str] = {
     faults_study.EXPERIMENT_ID: faults_study.TITLE,
     obs_study.EXPERIMENT_ID: obs_study.TITLE,
     overload_study.EXPERIMENT_ID: overload_study.TITLE,
+    replication_study.EXPERIMENT_ID: replication_study.TITLE,
 }
 
 __all__ = ["EXPERIMENTS", "TITLES"]

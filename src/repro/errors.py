@@ -184,6 +184,68 @@ class CircuitOpenError(RequestRejectedError):
         self.reason = reason
 
 
+class ReplicationError(ReproError):
+    """Base class for replication-layer failures.
+
+    These are *replication-protocol* outcomes — a write could not reach
+    enough replicas, or a hint queue overflowed — distinct from storage
+    faults (the device is fine) and from overload rejections (the
+    gateway admitted the request; the replica group refused it).
+    """
+
+
+class QuorumLostError(ReplicationError):
+    """A write could not be acknowledged by enough replicas.
+
+    Raised under the ``QUORUM``/``ALL`` ack policies when the number of
+    live replicas that durably applied the frame is below the policy's
+    requirement.  The write *is not* acked: depending on which replicas
+    applied it before the failure it may survive or vanish, exactly like
+    an in-doubt write in a real quorum system.  ``acked`` and
+    ``needed`` report how far the frame got.
+    """
+
+    def __init__(self, shard: int, acked: int, needed: int) -> None:
+        super().__init__(
+            f"shard {shard}: write reached {acked}/{needed} replicas "
+            f"required for acknowledgement")
+        self.shard = shard
+        self.acked = acked
+        self.needed = needed
+
+
+class HintQueueFullError(ReplicationError):
+    """Hinted handoff ran out of buffer space for a dead replica.
+
+    The primary retains a bounded suffix of the shipped log for each
+    dead follower; when that queue is full the group applies
+    backpressure by rejecting new writes *before* the primary applies
+    them, so a rejected write is all-or-nothing across the group.
+    """
+
+    def __init__(self, shard: int, replica: int, limit: int) -> None:
+        super().__init__(
+            f"shard {shard}: hint queue for replica {replica} is full "
+            f"({limit} frames); write rejected (backpressure)")
+        self.shard = shard
+        self.replica = replica
+        self.limit = limit
+
+
+class ReplicaUnavailableError(ReplicationError):
+    """No live replica can serve the request.
+
+    Raised when every replica of a group is dead (reads), or when a
+    bounded-staleness follower read finds no follower within the lag
+    bound and the primary is gone too.
+    """
+
+    def __init__(self, shard: int, detail: str = "") -> None:
+        suffix = f": {detail}" if detail else ""
+        super().__init__(f"shard {shard}: no replica available{suffix}")
+        self.shard = shard
+
+
 class IndexBuildError(ReproError):
     """Raised when a learned index cannot be constructed over the given keys."""
 

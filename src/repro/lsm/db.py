@@ -93,10 +93,13 @@ class LSMTree:
 
     def __init__(self, options: Optional[Options] = None,
                  device: Optional[BlockDevice] = None,
-                 tracer=None) -> None:
+                 tracer=None, stats: Optional[Stats] = None) -> None:
         self.options = options if options is not None else Options()
         self.options.validate()
-        self.stats = Stats()
+        # ``stats`` injection lets a replica group share one registry
+        # across R trees, so deadline metering and gateway service-time
+        # deltas see a single simulated timeline for the whole group.
+        self.stats = stats if stats is not None else Stats()
         if tracer is not None:
             # Attached before any substrate touches the registry, so
             # construction-time work (WAL replay in particular) is
@@ -179,7 +182,7 @@ class LSMTree:
     @classmethod
     def reopen(cls, options: Options, device: BlockDevice, *,
                use_manifest: Optional[bool] = None,
-               tracer=None) -> "LSMTree":
+               tracer=None, stats: Optional[Stats] = None) -> "LSMTree":
         """Rebuild a database from the files on ``device``.
 
         Two recovery paths:
@@ -208,7 +211,7 @@ class LSMTree:
         span = tracer.begin(OpType.RECOVERY) if tracer is not None else None
         try:
             manifest_present = device.exists(MANIFEST_NAME)
-            db = cls(options, device=device, tracer=tracer)
+            db = cls(options, device=device, tracer=tracer, stats=stats)
             if (db.manifest is not None and manifest_present
                     and use_manifest is not False):
                 db._recover_from_manifest(db.manifest.replay())

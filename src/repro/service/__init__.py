@@ -10,6 +10,10 @@ adds the system-level tier a production deployment puts on top:
   of the shards: open-loop arrivals on a virtual clock, bounded
   per-shard queues with shedding, deadline propagation, per-shard
   circuit breakers and a client retry budget;
+* :class:`~repro.service.replication.ReplicaGroup` — per-shard
+  replication: primary/follower log shipping with configurable ack
+  policy, deterministic heartbeat failover, hinted handoff,
+  bounded-staleness follower reads and anti-entropy repair;
 * :class:`~repro.lsm.write_batch.WriteBatch` (re-exported) — multi-key
   updates applied through one WAL group commit per shard;
 * the LRU block cache (``Options.cache_bytes`` +
@@ -32,6 +36,11 @@ from repro.service.gateway import (
     VirtualClock,
     requests_from_ycsb,
 )
+from repro.service.replication import (
+    AckPolicy,
+    ReplicaGroup,
+    ReplicationConfig,
+)
 from repro.service.router import HashRouter, mix64
 from repro.service.sharded import ShardedDB
 
@@ -48,4 +57,7 @@ __all__ = [
     "Request",
     "VirtualClock",
     "requests_from_ycsb",
+    "AckPolicy",
+    "ReplicaGroup",
+    "ReplicationConfig",
 ]

@@ -51,6 +51,7 @@ from repro.errors import (
 from repro.lsm.deadline import DeadlineToken
 from repro.lsm.write_batch import WriteBatch
 from repro.obs.registry import MetricsRegistry
+from repro.service.replication import VirtualClock
 from repro.service.sharded import ShardedDB
 from repro.storage.stats import (
     BREAKER_CLOSES,
@@ -89,16 +90,9 @@ OUTCOME_BREAKER = "breaker"
 OUTCOME_FAILED = "failed"
 
 
-class VirtualClock:
-    """Monotone simulated-microsecond clock; the only time source here."""
-
-    def __init__(self, now_us: float = 0.0) -> None:
-        self.now_us = now_us
-
-    def advance_to(self, t_us: float) -> None:
-        """Move time forward (never backward) to ``t_us``."""
-        if t_us > self.now_us:
-            self.now_us = t_us
+# VirtualClock lives in the replication module now (the failure
+# detector shares it); the import above keeps its historical home here
+# working for existing callers.
 
 
 @dataclass
@@ -375,8 +369,10 @@ class GatewayReport:
 
 
 #: Event-kind ordering: completions before arrivals at the same
-#: instant, so a server freed at t can absorb the arrival at t.
-_COMPLETE, _ARRIVAL = 0, 1
+#: instant, so a server freed at t can absorb the arrival at t;
+#: heartbeat ticks come last so the failure detector sees the
+#: instant's completed state.
+_COMPLETE, _ARRIVAL, _TICK = 0, 1, 2
 
 
 class Gateway:
@@ -396,7 +392,11 @@ class Gateway:
         self.db = db
         self.config = config if config is not None else GatewayConfig()
         self.config.validate()
-        self.clock = VirtualClock()
+        # A replicated database brings its own clock (the replica
+        # groups' failure detectors already share it); adopting it puts
+        # request scheduling and failover on one timeline.
+        db_clock = getattr(db, "clock", None)
+        self.clock = db_clock if db_clock is not None else VirtualClock()
         self.stats = Stats()
         self.registry = MetricsRegistry()
         self.breakers = [CircuitBreaker(i, self.config, self.stats)
@@ -522,11 +522,25 @@ class Gateway:
         heap: List[Tuple[float, int, int, Request]] = []
         for req in requests:
             self._push(heap, req.arrival_us, _ARRIVAL, req)
+        tick_every = (self.db.replication.heartbeat_interval_us
+                      if self.db.replication is not None else None)
+        if tick_every is not None and heap:
+            # Replicated fleet: interleave failure-detector ticks with
+            # the request schedule, so failovers happen mid-load at
+            # deterministic instants.
+            self._push(heap, self.clock.now_us + tick_every, _TICK, None)
         outcomes: Dict[str, int] = {}
         horizon = 0.0
         while heap:
             t_us, kind, _, req = heappop(heap)
             self.clock.advance_to(t_us)
+            if kind == _TICK:
+                self.db.tick(t_us)
+                if heap:
+                    # Stop ticking once the last request resolved; the
+                    # run ends when the workload does.
+                    self._push(heap, t_us + tick_every, _TICK, None)
+                continue
             horizon = max(horizon, t_us)
             if kind == _ARRIVAL:
                 self._arrive(heap, req, t_us, outcomes)
@@ -692,13 +706,23 @@ class Gateway:
     def shard_health(self, shard: int) -> Dict[str, object]:
         """Overload-side health fields merged into ``ShardedDB.health()``."""
         counters = self.shard_counters[shard]
-        return {
+        out: Dict[str, object] = {
             "breaker": self.breakers[shard].state,
             "queue_depth": len(self.servers[shard].queue),
             "shed": counters["shed"],
             "expired": counters["expired"],
             "deadline_exceeded": counters["deadline"],
         }
+        summary = getattr(self.db.shards[shard], "replication_summary", None)
+        if summary is not None:
+            # Replicated shard: surface roles and lag next to the
+            # breaker, the two signals an operator correlates during a
+            # failover ("breaker open, primary changed, lag draining").
+            repl = summary()
+            out["replica_roles"] = repl["roles"]
+            out["replicas_alive"] = repl["alive"]
+            out["replication_lag"] = repl["max_lag_frames"]
+        return out
 
     def metrics(self) -> MetricsRegistry:
         """The gateway's own registry (queue delay / service / request)."""

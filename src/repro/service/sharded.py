@@ -31,6 +31,11 @@ from repro.lsm.options import Options
 from repro.lsm.write_batch import WriteBatch
 from repro.obs.registry import MetricsRegistry, global_registry
 from repro.obs.trace import Tracer
+from repro.service.replication import (
+    ReplicaGroup,
+    ReplicationConfig,
+    VirtualClock,
+)
 from repro.service.router import HashRouter
 from repro.storage.block_device import BlockDevice
 from repro.storage.stats import Stats
@@ -50,20 +55,36 @@ class ShardedDB:
 
     def __init__(self, num_shards: int = 4,
                  options: Optional[Options] = None,
-                 devices: Optional[Sequence[BlockDevice]] = None,
+                 devices: Optional[Sequence] = None,
                  observe: bool = True,
                  sample_every: int = 0,
-                 metrics_sink: Optional[MetricsRegistry] = None) -> None:
+                 metrics_sink: Optional[MetricsRegistry] = None,
+                 replication: Optional[ReplicationConfig] = None) -> None:
         self.router = HashRouter(num_shards)
         self.options = options if options is not None else Options()
+        self.replication = replication
         if devices is not None and len(devices) != num_shards:
             raise InvalidOptionError(
                 f"got {len(devices)} devices for {num_shards} shards")
-        self.shards: List[LSMTree] = [
-            LSMTree(self.options,
-                    device=devices[i] if devices is not None else None)
-            for i in range(num_shards)
-        ]
+        if replication is not None:
+            # Replicated fleet: each shard is a ReplicaGroup of R trees
+            # on R devices, all on one shared virtual clock (the
+            # failure detector's timeline).  ``devices``, when given,
+            # is one sequence of R devices per shard.
+            self.clock = VirtualClock()
+            self.shards: List = [
+                ReplicaGroup(i, self.options, replication,
+                             devices=devices[i] if devices is not None
+                             else None,
+                             clock=self.clock)
+                for i in range(num_shards)
+            ]
+        else:
+            self.shards = [
+                LSMTree(self.options,
+                        device=devices[i] if devices is not None else None)
+                for i in range(num_shards)
+            ]
         #: Set by :class:`repro.service.gateway.Gateway` when one is
         #: attached; :meth:`health` then reports breaker/queue state.
         self._gateway = None
@@ -118,6 +139,7 @@ class ShardedDB:
         db = cls.__new__(cls)
         db.router = HashRouter(num_shards)
         db.options = options
+        db.replication = None
         db._gateway = None
         db.registries = []
         db.tracers = []
@@ -267,6 +289,32 @@ class ShardedDB:
         for shard in self.shards:
             shard.maybe_compact()
 
+    def tick(self, now_us: float) -> None:
+        """Advance every replica group's failure detector to ``now_us``.
+
+        A no-op for unreplicated fleets.  The gateway's open-loop
+        scheduler calls this at every heartbeat interval; closed-loop
+        drivers call it directly as their simulated clock advances.
+        """
+        if self.replication is None:
+            return
+        self.clock.advance_to(now_us)
+        for shard in self.shards:
+            shard.tick(now_us)
+
+    def anti_entropy(self) -> ScrubReport:
+        """Scrub + divergence repair on every replica group.
+
+        Falls back to a plain :meth:`scrub` for unreplicated fleets, so
+        operator tooling can call one entry point either way.
+        """
+        if self.replication is None:
+            return self.scrub()
+        report = ScrubReport()
+        for shard in self.shards:
+            report.merge(shard.anti_entropy())
+        return report
+
     def health(self) -> Dict[str, object]:
         """Fleet health: overall status plus one entry per shard.
 
@@ -274,7 +322,10 @@ class ShardedDB:
         single degraded or read-only shard degrades the fleet summary
         while the per-shard list tells an operator exactly where to
         look.  Keys on healthy shards are unaffected — that isolation
-        is the point of sharding.
+        is the point of sharding.  Replicated shards additionally
+        report per-replica roles, liveness and lag (see
+        :meth:`ReplicaGroup.health`); a shard with every replica dead
+        reports ``down``, the worst fleet status.
         """
         shards = []
         for i, shard in enumerate(self.shards):
@@ -287,10 +338,9 @@ class ShardedDB:
                 entry.update(self._gateway.shard_health(i))
             shards.append(entry)
         worst = "ok"
-        if any(entry["status"] == "degraded" for entry in shards):
-            worst = "degraded"
-        if any(entry["status"] == "read_only" for entry in shards):
-            worst = "read_only"
+        for status in ("degraded", "read_only", "down"):
+            if any(entry["status"] == status for entry in shards):
+                worst = status
         return {"status": worst, "shards": shards}
 
     def scrub(self) -> ScrubReport:
@@ -354,6 +404,13 @@ class ShardedDB:
         merged = MetricsRegistry()
         for registry in self.registries:
             merged.merge(registry)
+        for shard in self.shards:
+            # Replica groups keep their own registry (the failover-time
+            # histogram lives there); fold it in so ``repl.failover``
+            # shows up next to request latencies.
+            group_registry = getattr(shard, "registry", None)
+            if group_registry is not None:
+                merged.merge(group_registry)
         return merged
 
     def entry_count(self) -> int:

@@ -138,6 +138,20 @@ class FaultyBlockDevice(BlockDevice):
                 "simulated machine is powered off; call revive() and "
                 "reopen the database")
 
+    def cut_power(self) -> None:
+        """Kill the device immediately (no byte budget required).
+
+        Models an operator-scheduled crash: everything already appended
+        survives in :attr:`inner`; every subsequent operation raises
+        :class:`~repro.errors.PowerCutError` until :meth:`revive`.
+        A no-op when the device is already dead, so crash schedules can
+        overlap a budget-driven cut without double counting.
+        """
+        if self._dead:
+            return
+        self._dead = True
+        self._count_fault(FAULT_POWER_CUTS)
+
     def revive(self) -> None:
         """Power the machine back on after a simulated cut.
 

@@ -348,6 +348,24 @@ BREAKER_REJECTED = "breaker.rejected"
 RETRY_CLIENT_RESUBMITS = "retry.client_resubmits"
 RETRY_BUDGET_SPENT = "retry.budget_spent"
 RETRY_BUDGET_DENIED = "retry.budget_denied"
+REPL_FRAMES_SHIPPED = "repl.frames_shipped"
+REPL_RECORDS_SHIPPED = "repl.records_shipped"
+REPL_WRITES_ACKED = "repl.writes_acked"
+REPL_WRITES_REJECTED = "repl.writes_rejected"
+REPL_HINTS_QUEUED = "repl.hints_queued"
+REPL_HINTS_REPLAYED = "repl.hints_replayed"
+REPL_BACKPRESSURE = "repl.hint_backpressure"
+REPL_HEARTBEATS = "repl.heartbeats"
+REPL_HEARTBEAT_MISSES = "repl.heartbeat_misses"
+REPL_REPLICA_DEATHS = "repl.replica_deaths"
+REPL_PROMOTIONS = "repl.promotions"
+REPL_CATCHUP_FRAMES = "repl.catchup_frames"
+REPL_STALE_READS = "repl.follower_reads"
+REPL_FRAMES_LOST = "repl.frames_lost"
+REPL_RECORDS_LOST = "repl.records_lost"
+REPL_RESYNCS = "repl.resyncs"
+REPL_ANTIENTROPY_RUNS = "repl.antientropy_runs"
+REPL_ANTIENTROPY_REPAIRED = "repl.antientropy_repaired"
 SCRUB_TABLES_CHECKED = "scrub.tables_checked"
 SCRUB_BLOCKS_CHECKED = "scrub.blocks_checked"
 SCRUB_BLOCKS_BAD = "scrub.blocks_bad"

@@ -69,7 +69,7 @@ def test_experiment_registry_complete():
     expected = {"fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
                 "table1", "fig11", "fig12", "unclustered", "ablations",
                 "tiering", "hardware", "service", "multiget", "recovery",
-                "blocks", "faults", "obs", "overload"}
+                "blocks", "faults", "obs", "overload", "replication"}
     assert expected == set(EXPERIMENTS)
     assert expected == set(TITLES)
 

@@ -16,6 +16,7 @@ _EXAMPLES = [
     "sharded_service.py",
     "checkpoint_restore.py",
     "overload_gateway.py",
+    "replicated_failover.py",
 ]
 
 _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))

@@ -119,13 +119,22 @@ def test_every_runtime_counter_is_registered():
     The workload deliberately crosses every subsystem that charges
     counters: WAL group commits, block + data caches, compression,
     level-granularity models, compaction, MultiGet coalescing, scans,
-    checkpointing, and both recovery paths.
+    checkpointing, both recovery paths, and a replicated crash
+    schedule that drives every ``repl.*`` series.
     """
     import random
 
+    from repro.errors import ReproError
     from repro.lsm.db import LSMTree
     from repro.lsm.options import Granularity, small_test_options
     from repro.lsm.write_batch import WriteBatch
+    from repro.service.replication import (
+        AckPolicy,
+        ReplicaGroup,
+        ReplicationConfig,
+    )
+    from repro.storage.block_device import MemoryBlockDevice
+    from repro.storage.faults import FaultPlan, FaultyBlockDevice
     from repro.storage.stats import ALL_COUNTERS
 
     assert ALL_COUNTERS, "counter registry must not be empty"
@@ -158,5 +167,46 @@ def test_every_runtime_counter_is_registered():
                                    use_manifest=False)  # scan path
         charged.update(rescanned.stats.counters)
         rescanned.close()
+    # Replicated phase: one crash schedule that walks the whole
+    # protocol — shipping, hints, backpressure, revival, stale reads,
+    # promotion with a lost suffix, resync and anti-entropy.
+    config = ReplicationConfig(replication_factor=3, ack=AckPolicy.ASYNC,
+                               heartbeat_interval_us=1_000.0,
+                               heartbeat_timeout_us=3_000.0,
+                               hint_queue_frames=2)
+    repl_options = small_test_options()
+    devices = [FaultyBlockDevice(
+        MemoryBlockDevice(block_size=repl_options.block_size),
+        FaultPlan(seed=40 + r)) for r in range(3)]
+    group = ReplicaGroup(0, repl_options, config, devices=devices)
+    for i in range(4):
+        group.put(i, b"r%d" % i)
+    group.tick(1_000.0)  # async ship to the followers
+    devices[2].cut_power()
+    for now in (2_000.0, 3_000.0, 4_000.0, 5_000.0):
+        group.tick(now)  # misses accumulate; replica 2 declared dead
+    group.put(10, b"hinted")
+    group.put(11, b"hinted")
+    with pytest.raises(ReproError):
+        group.put(12, b"over the hint bound")
+    devices[2].revive()
+    group.tick(6_000.0)  # rejoin replays the hinted suffix
+    group.put(20, b"unshipped")
+    group.flush()  # reads must touch the (about to die) device
+    devices[0].cut_power()
+    group.get(0)  # read discovers the death, serves from a follower
+    for now in (7_000.0, 8_000.0, 9_000.0, 10_000.0, 11_000.0):
+        group.tick(now)  # promotion; the unshipped frame is lost
+    devices[0].revive()
+    group.tick(12_000.0)  # diverged old primary resyncs
+    follower = next(replica for replica in group.replicas
+                    if replica.index != group.primary_index)
+    follower.tree.put(999, b"drift")
+    group.anti_entropy()
+    charged.update(group.stats.counters)
+    group.close()
+    repl_series = {name for name in ALL_COUNTERS if name.startswith("repl.")}
+    uncharged = repl_series - charged
+    assert not uncharged, f"repl.* series never charged: {uncharged}"
     unregistered = charged - ALL_COUNTERS
     assert not unregistered, f"unregistered counter names: {unregistered}"
